@@ -1,0 +1,74 @@
+// Command svderive derives a security view from a document DTD and an
+// access specification, and prints the view definition: the view DTD that
+// would be published to the user class, the hidden σ annotations
+// (-sigma), or the per-type derivation report (-explain). With -save the
+// full definition is written for later use by svquery -view.
+//
+// Usage:
+//
+//	svderive -dtd hospital.dtd -spec nurse.ann [-param wardNo=6]
+//	svderive -builtin hospital -param wardNo=6 -explain
+//	svderive -builtin adex -save adex.view
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/secview"
+)
+
+func main() {
+	var (
+		dtdPath  = flag.String("dtd", "", "document DTD file")
+		specPath = flag.String("spec", "", "access specification file")
+		builtin  = flag.String("builtin", "", "use a built-in scenario: hospital, adex, or fig7")
+		sigma    = flag.Bool("sigma", false, "also print the hidden σ annotations")
+		explain  = flag.Bool("explain", false, "print the per-type derivation report instead")
+		element  = flag.Bool("element", false, "print the view DTD as standard <!ELEMENT> declarations")
+		save     = flag.String("save", "", "write the full view definition to a file for svquery -view")
+		params   cli.Params
+	)
+	flag.Var(&params, "param", "bind a specification parameter, e.g. -param wardNo=6 (repeatable)")
+	flag.Parse()
+
+	spec, err := cli.LoadSpec(*builtin, *dtdPath, *specPath)
+	if err != nil {
+		fatal(err)
+	}
+	if spec, err = cli.BindIfNeeded(spec, params); err != nil {
+		fatal(err)
+	}
+	view, err := secview.Derive(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if *save != "" {
+		data, err := view.MarshalText()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "svderive: wrote view definition to %s\n", *save)
+	}
+	switch {
+	case *explain:
+		fmt.Print(view.Report())
+	case *sigma:
+		fmt.Print(view.String())
+	case *element:
+		fmt.Print(view.DTD.ElementSyntax())
+	default:
+		fmt.Println("# view DTD exposed to the user class (σ annotations hidden; use -sigma)")
+		fmt.Print(view.DTD.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "svderive:", err)
+	os.Exit(1)
+}

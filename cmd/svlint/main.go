@@ -1,0 +1,53 @@
+// Command svlint statically checks an access specification: redundant or
+// unreachable annotations, trivial conditions, and derived-view abort
+// risks (the practical side of Theorem 3.2's "iff such a view exists").
+//
+// Usage:
+//
+//	svlint -dtd hospital.dtd -spec nurse.ann [-param wardNo=6]
+//	svlint -builtin hospital
+//
+// Exit status is 1 when any issue is found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		dtdPath  = flag.String("dtd", "", "document DTD file")
+		specPath = flag.String("spec", "", "access specification file")
+		builtin  = flag.String("builtin", "", "use a built-in scenario: hospital, adex, or fig7")
+		params   cli.Params
+	)
+	flag.Var(&params, "param", "bind a specification parameter, e.g. -param wardNo=6 (repeatable)")
+	flag.Parse()
+
+	spec, err := cli.LoadSpec(*builtin, *dtdPath, *specPath)
+	if err != nil {
+		fatal(err)
+	}
+	if spec, err = cli.BindIfNeeded(spec, params); err != nil {
+		fatal(err)
+	}
+	issues := lint.Check(spec)
+	if len(issues) == 0 {
+		fmt.Println("svlint: no issues")
+		return
+	}
+	for _, issue := range issues {
+		fmt.Println(issue)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "svlint:", err)
+	os.Exit(1)
+}

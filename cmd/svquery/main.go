@@ -1,0 +1,122 @@
+// Command svquery answers XPath queries over a security view without
+// materializing it: it derives (or loads) the view, rewrites the query
+// into an equivalent query over the original document, optimizes it
+// against the document DTD, evaluates, and prints the result as XML.
+//
+// Usage:
+//
+//	svquery -dtd hospital.dtd -spec nurse.ann -doc ward.xml \
+//	        -param wardNo=6 -q '//patient/name'
+//	svquery -builtin hospital -doc ward.xml -param wardNo=6 -q '//patient'
+//	svquery -view nurse.view -doc ward.xml -q '//patient'
+//
+// Flags -show-rewrite and -show-optimize print the intermediate queries;
+// -no-optimize skips the optimization pass; -indexed evaluates with the
+// label-index evaluator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/secview"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func main() {
+	var (
+		dtdPath    = flag.String("dtd", "", "document DTD file")
+		specPath   = flag.String("spec", "", "access specification file")
+		builtin    = flag.String("builtin", "", "use a built-in scenario: hospital, adex, or fig7")
+		viewPath   = flag.String("view", "", "load a saved view definition (from svderive -save) instead of -dtd/-spec")
+		docPath    = flag.String("doc", "", "XML document file")
+		query      = flag.String("q", "", "XPath query over the security view")
+		showRw     = flag.Bool("show-rewrite", false, "print the rewritten document query")
+		showOpt    = flag.Bool("show-optimize", false, "print the optimized document query")
+		noOptimize = flag.Bool("no-optimize", false, "skip the DTD-based optimization pass")
+		indexed    = flag.Bool("indexed", false, "evaluate with the label-index evaluator")
+		params     cli.Params
+	)
+	flag.Var(&params, "param", "bind a specification parameter, e.g. -param wardNo=6 (repeatable)")
+	flag.Parse()
+
+	if *query == "" || *docPath == "" {
+		fatal(fmt.Errorf("need -q and -doc"))
+	}
+	engine, err := buildEngine(*viewPath, *builtin, *dtdPath, *specPath, params)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Open(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := xmltree.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if err := xmltree.Validate(doc, engine.DocumentDTD()); err != nil {
+		fatal(fmt.Errorf("document does not conform to the DTD: %v", err))
+	}
+
+	p, err := xpath.Parse(*query)
+	if err != nil {
+		fatal(err)
+	}
+	pt, err := engine.Rewrite(p, doc.Height())
+	if err != nil {
+		fatal(err)
+	}
+	if *showRw {
+		fmt.Fprintf(os.Stderr, "rewritten: %s\n", xpath.String(pt))
+	}
+	final := pt
+	if !*noOptimize {
+		final = engine.Optimize(pt)
+		if *showOpt {
+			fmt.Fprintf(os.Stderr, "optimized: %s\n", xpath.String(final))
+		}
+	}
+	var result []*xmltree.Node
+	if *indexed {
+		result = xpath.EvalIndexed(final, xpath.NewIndex(doc))
+	} else {
+		result = xpath.EvalDoc(final, doc)
+	}
+	for _, n := range result {
+		fmt.Print(n.String())
+	}
+}
+
+func buildEngine(viewPath, builtin, dtdPath, specPath string, params cli.Params) (*core.Engine, error) {
+	if viewPath != "" {
+		data, err := os.ReadFile(viewPath)
+		if err != nil {
+			return nil, err
+		}
+		view, err := secview.UnmarshalView(data)
+		if err != nil {
+			return nil, err
+		}
+		return core.FromView(view)
+	}
+	spec, err := cli.LoadSpec(builtin, dtdPath, specPath)
+	if err != nil {
+		return nil, err
+	}
+	if spec, err = cli.BindIfNeeded(spec, params); err != nil {
+		return nil, err
+	}
+	return core.New(spec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "svquery:", err)
+	os.Exit(1)
+}

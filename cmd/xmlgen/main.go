@@ -1,0 +1,81 @@
+// Command xmlgen generates random XML documents conforming to a DTD —
+// the stand-in for the IBM XML Generator the paper uses to produce its
+// data sets by varying the maximum branching factor.
+//
+// Usage:
+//
+//	xmlgen -dtd hospital.dtd -seed 7 -max-repeat 10 > doc.xml
+//	xmlgen -builtin adex -max-repeat 400 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dtd"
+	"repro/internal/dtds"
+	"repro/internal/xmlgen"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		dtdPath   = flag.String("dtd", "", "DTD file (compact syntax)")
+		builtin   = flag.String("builtin", "", "use a built-in DTD: hospital, adex, or fig7")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		minRepeat = flag.Int("min-repeat", 0, "minimum repetitions for starred productions")
+		maxRepeat = flag.Int("max-repeat", 3, "maximum repetitions for starred productions (branching factor)")
+		maxDepth  = flag.Int("max-depth", 30, "depth at which recursive DTDs switch to minimal expansion")
+		stats     = flag.Bool("stats", false, "print document statistics to stderr")
+	)
+	flag.Parse()
+
+	var d *dtd.DTD
+	switch *builtin {
+	case "hospital":
+		d = dtds.Hospital()
+	case "adex":
+		d = dtds.Adex()
+	case "fig7":
+		d = dtds.Fig7()
+	case "":
+		if *dtdPath == "" {
+			fatal(fmt.Errorf("need -dtd or -builtin"))
+		}
+		src, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := dtd.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		d = parsed
+	default:
+		fatal(fmt.Errorf("unknown builtin %q", *builtin))
+	}
+
+	doc := xmlgen.Generate(d, xmlgen.Config{
+		Seed:      *seed,
+		MinRepeat: *minRepeat,
+		MaxRepeat: *maxRepeat,
+		MaxDepth:  *maxDepth,
+	})
+	if err := xmltree.Validate(doc, d); err != nil {
+		fatal(fmt.Errorf("internal error: generated document does not conform: %v", err))
+	}
+	if *stats {
+		s := doc.ComputeStats()
+		fmt.Fprintf(os.Stderr, "nodes=%d elements=%d text=%d height=%d labels=%d\n",
+			s.Nodes, s.Elements, s.TextNodes, s.Height, len(s.Labels))
+	}
+	if err := doc.Serialize(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlgen:", err)
+	os.Exit(1)
+}

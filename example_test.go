@@ -1,0 +1,141 @@
+package securexml_test
+
+import (
+	"fmt"
+	"log"
+
+	securexml "repro"
+)
+
+// Example walks the full pipeline of the paper's Fig. 3: define a DTD and
+// a policy, derive the security view, and answer a query over the view
+// without materializing it.
+func Example() {
+	d, err := securexml.ParseDTD(`
+root library
+library -> book*
+book -> title, internal-notes
+title -> #PCDATA
+internal-notes -> #PCDATA
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := securexml.ParseSpec(d, "ann(book, internal-notes) = N\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := securexml.NewEngine(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := securexml.ParseDocumentString(
+		`<library><book><title>TAOCP</title><internal-notes>secret</internal-notes></book></library>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	titles, err := engine.QueryString(doc, "//book/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range titles {
+		fmt.Println(n.Text())
+	}
+	hidden, err := engine.QueryString(doc, "//internal-notes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hidden results:", len(hidden))
+	// Output:
+	// TAOCP
+	// hidden results: 0
+}
+
+// ExampleDerive shows the derived view DTD for a policy with an
+// inaccessible intermediate type: the hidden layer is short-cut and the
+// exposed schema never mentions it.
+func ExampleDerive() {
+	d, err := securexml.ParseDTD(`
+root r
+r -> wrapper
+wrapper -> payload
+payload -> #PCDATA
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := securexml.ParseSpec(d, `
+ann(r, wrapper) = N
+ann(wrapper, payload) = Y
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	view, err := securexml.Derive(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(view.DTD.String())
+	// Output:
+	// root r
+	// payload -> #PCDATA
+	// r -> payload
+}
+
+// ExampleNewRegistry manages two user classes over one schema.
+func ExampleNewRegistry() {
+	d, err := securexml.ParseDTD(`
+root store
+store -> item*
+item -> sku, cost
+sku -> #PCDATA
+cost -> #PCDATA
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	registry := securexml.NewRegistry(d)
+	if _, err := registry.Define("clerk", "ann(item, cost) = N\n"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := registry.Define("manager", ""); err != nil {
+		log.Fatal(err)
+	}
+	doc, err := securexml.ParseDocumentString(
+		`<store><item><sku>A-1</sku><cost>9</cost></item></store>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, class := range registry.Names() {
+		costs, err := registry.Query(class, nil, doc, "//cost")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s sees %d cost values\n", class, len(costs))
+	}
+	// Output:
+	// clerk sees 0 cost values
+	// manager sees 1 cost values
+}
+
+// ExampleLint flags a policy problem before deployment.
+func ExampleLint() {
+	d, err := securexml.ParseDTD(`
+root r
+r -> a, b
+a -> #PCDATA
+b -> #PCDATA
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := securexml.ParseSpec(d, `ann(r, a) = [. = "ok"]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, issue := range securexml.Lint(spec) {
+		fmt.Println(issue)
+	}
+	// Output:
+	// abort-risk (r, a): required entry extracted by conditional query a[. = "ok"]; materialization aborts when the condition fails
+}

@@ -1,0 +1,102 @@
+// Attributes: the paper notes attributes "can be easily incorporated";
+// this example shows the incorporation. A clinic schema declares patient
+// attributes (id required, ssn, insurer); the front-desk policy denies
+// ssn. The derived view DTD omits the attribute, materialized views never
+// carry it, and queries probing it — positively or negatively — learn
+// nothing.
+//
+//	go run ./examples/attributes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	securexml "repro"
+)
+
+const schema = `
+root clinic
+clinic -> patient*
+patient -> name, record
+name -> #PCDATA
+record -> #PCDATA
+attlist patient id!, ssn, insurer
+attlist record code
+`
+
+const policy = `
+ann(patient, @ssn) = N
+`
+
+const data = `
+<clinic>
+  <patient id="p1" ssn="123-45-6789" insurer="Acme">
+    <name>Alice</name><record code="J11">flu</record>
+  </patient>
+  <patient id="p2">
+    <name>Bob</name><record>ok</record>
+  </patient>
+</clinic>
+`
+
+func main() {
+	d, err := securexml.ParseDTD(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := securexml.ParseSpec(d, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := securexml.NewEngine(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := securexml.ParseDocumentString(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := securexml.Validate(doc, d); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== view DTD for the front desk (no ssn attribute) ==")
+	fmt.Print(engine.ViewDTD())
+
+	show := func(query string) {
+		nodes, err := engine.QueryString(doc, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s ->", query)
+		for _, n := range nodes {
+			fmt.Printf(" %s", n.Text())
+		}
+		if len(nodes) == 0 {
+			fmt.Print(" (empty)")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== attribute qualifiers over the view ==")
+	show(`patient[@id = "p1"]/name`)
+	show(`patient[@insurer]/name`)
+	show(`//record[@code = "J11"]`)
+
+	fmt.Println("\n== the hidden ssn is indistinguishable from absent ==")
+	show("patient[@ssn]/name")      // nothing: cannot find who has an ssn
+	show("patient[not(@ssn)]/name") // everyone: cannot find who lacks one
+
+	m, err := engine.Materialize(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== the materialized view never carries ssn ==")
+	fmt.Print(m.View.XML())
+
+	if err := engine.Audit(doc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\naudit: attributes exposed are exactly the accessible ones")
+}

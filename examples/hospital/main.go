@@ -1,0 +1,101 @@
+// Hospital: the paper's running example (Examples 1.1-3.4). A nurse in
+// ward 6 queries patient data; the clinical-trial structure is hidden,
+// and the inference attack of Example 1.1 — comparing //dept//patientInfo
+// against //dept/patientInfo to learn who is in a trial — is defeated
+// because both queries rewrite to the same document query.
+//
+//	go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+	"log"
+
+	securexml "repro"
+	"repro/internal/dtds"
+)
+
+const ward = `
+<hospital>
+  <dept>
+    <clinicalTrial>
+      <patientInfo>
+        <patient><name>Carol</name><wardNo>6</wardNo>
+          <treatment><trial><bill>900</bill></trial></treatment>
+        </patient>
+      </patientInfo>
+    </clinicalTrial>
+    <patientInfo>
+      <patient><name>Alice</name><wardNo>6</wardNo>
+        <treatment><regular><bill>100</bill><medication>aspirin</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo><staff><nurse><name>Nina</name></nurse></staff></staffInfo>
+  </dept>
+  <dept>
+    <clinicalTrial><patientInfo></patientInfo></clinicalTrial>
+    <patientInfo>
+      <patient><name>Bob</name><wardNo>7</wardNo>
+        <treatment><regular><bill>70</bill><medication>ibuprofen</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo><staff><doctor><name>Dan</name></doctor></staff></staffInfo>
+  </dept>
+</hospital>
+`
+
+func main() {
+	// The administrator defines the nurse policy once, with $wardNo as a
+	// per-user parameter (Example 3.1).
+	spec, err := dtds.NurseSpec().Bind(map[string]string{"wardNo": "6"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := securexml.NewEngine(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== view DTD for ward-6 nurses (Fig. 2) ==")
+	fmt.Print(engine.ViewDTD())
+	fmt.Println("\nNote: trial and regular are hidden behind dummy labels;")
+	fmt.Println("clinicalTrial does not exist in the nurse's world at all.")
+
+	doc, err := securexml.ParseDocumentString(ward)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := securexml.Validate(doc, dtds.Hospital()); err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(query string) {
+		nodes, err := engine.QueryString(doc, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s ->", query)
+		for _, n := range nodes {
+			fmt.Printf(" %s", n.Text())
+		}
+		if len(nodes) == 0 {
+			fmt.Print(" (empty)")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== nurse queries (ward 6 only; Bob in ward 7 is invisible) ==")
+	show("//patient/name")
+	show(`//patient[name = "Alice"]/treatment/dummy2/medication`)
+	show("//patient//bill") // the paper's Example 4.1
+
+	fmt.Println("\n== the Example 1.1 inference attack is defeated ==")
+	show("//dept//patientInfo/patient/name") // p1
+	show("//dept/patientInfo/patient/name")  // p2: same answer as p1
+	fmt.Println("Both queries return every ward-6 patient: the result")
+	fmt.Println("difference that revealed trial membership is gone.")
+
+	fmt.Println("\n== hidden labels are unreachable ==")
+	show("//clinicalTrial")
+	show("//trial | //regular")
+}

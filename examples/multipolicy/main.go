@@ -1,0 +1,118 @@
+// Multipolicy: several user classes over the same hospital document —
+// ward-scoped nurses (parameterized by $wardNo), doctors who never see
+// billing, and auditors who see only billing. One registry manages all
+// the policies; each class gets its own automatically derived view DTD
+// and its own answers to the same queries.
+//
+//	go run ./examples/multipolicy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	securexml "repro"
+	"repro/internal/dtds"
+)
+
+const doctorPolicy = `
+ann(trial, bill) = N
+ann(regular, bill) = N
+`
+
+const auditorPolicy = `
+ann(hospital, dept) = Y
+ann(dept, patientInfo) = N
+ann(dept, clinicalTrial) = N
+ann(dept, staffInfo) = N
+ann(trial, bill) = Y
+ann(regular, bill) = Y
+`
+
+const ward = `
+<hospital>
+  <dept>
+    <clinicalTrial>
+      <patientInfo>
+        <patient><name>Carol</name><wardNo>6</wardNo>
+          <treatment><trial><bill>900</bill></trial></treatment>
+        </patient>
+      </patientInfo>
+    </clinicalTrial>
+    <patientInfo>
+      <patient><name>Alice</name><wardNo>6</wardNo>
+        <treatment><regular><bill>100</bill><medication>aspirin</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo><staff><nurse><name>Nina</name></nurse></staff></staffInfo>
+  </dept>
+  <dept>
+    <clinicalTrial><patientInfo></patientInfo></clinicalTrial>
+    <patientInfo>
+      <patient><name>Bob</name><wardNo>7</wardNo>
+        <treatment><regular><bill>70</bill><medication>ibuprofen</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo><staff><doctor><name>Dan</name></doctor></staff></staffInfo>
+  </dept>
+</hospital>
+`
+
+func main() {
+	registry := securexml.NewRegistry(dtds.Hospital())
+	mustDefine := func(name, src string) {
+		if _, err := registry.Define(name, src); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustDefine("nurse", dtds.NurseSpecSource)
+	mustDefine("doctor", doctorPolicy)
+	mustDefine("auditor", auditorPolicy)
+
+	doc, err := securexml.ParseDocumentString(ward)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type user struct {
+		class  string
+		params map[string]string
+		label  string
+	}
+	users := []user{
+		{"nurse", map[string]string{"wardNo": "6"}, "nurse (ward 6)"},
+		{"nurse", map[string]string{"wardNo": "7"}, "nurse (ward 7)"},
+		{"doctor", nil, "doctor"},
+		{"auditor", nil, "auditor"},
+	}
+
+	queries := []string{"//patient/name", "//bill", "//medication"}
+	for _, u := range users {
+		fmt.Printf("== %s ==\n", u.label)
+		for _, q := range queries {
+			nodes, err := registry.Query(u.class, u.params, doc, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s ->", q)
+			for _, n := range nodes {
+				fmt.Printf(" %s", n.Text())
+			}
+			if len(nodes) == 0 {
+				fmt.Print(" (nothing)")
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	// Each class is handed a different schema: what you cannot see does
+	// not exist in your world.
+	for _, u := range users[1:] {
+		dtd, err := registry.ViewDTD(u.class, u.params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== view DTD for %s: %d element types ==\n", u.label, dtd.Len())
+	}
+}

@@ -1,0 +1,62 @@
+package access
+
+import (
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+const attrDTD = `
+root clinic
+clinic -> patient*
+patient -> name
+name -> #PCDATA
+attlist patient id!, ssn
+`
+
+func TestAttrAccessible(t *testing.T) {
+	d := dtd.MustParse(attrDTD)
+	s := MustParseAnnotations(d, "ann(patient, @ssn) = N\n")
+	if s.AttrAccessible("patient", "ssn") {
+		t.Errorf("denied attribute reported accessible")
+	}
+	if !s.AttrAccessible("patient", "id") {
+		t.Errorf("unannotated attribute reported inaccessible")
+	}
+}
+
+func TestAttrAccessibility(t *testing.T) {
+	d := dtd.MustParse(attrDTD)
+	s := MustParseAnnotations(d, "ann(patient, @ssn) = N\nann(clinic, patient) = [name = \"Alice\"]\n")
+	a := xmltree.A
+	doc := xmltree.NewDocument(xmltree.E("clinic",
+		a(xmltree.E("patient", xmltree.T("name", "Alice")), "id", "p1", "ssn", "s1"),
+		a(xmltree.E("patient", xmltree.T("name", "Bob")), "id", "p2", "ssn", "s2"),
+	))
+	attrs := AttrAccessibility(s, doc)
+	alice := doc.Root.Children[0]
+	bob := doc.Root.Children[1]
+	if !attrs[alice]["id"] {
+		t.Errorf("Alice's id inaccessible")
+	}
+	if attrs[alice]["ssn"] {
+		t.Errorf("Alice's ssn accessible despite denial")
+	}
+	// Bob's element fails the condition, so even his id is inaccessible.
+	if attrs[bob]["id"] || attrs[bob]["ssn"] {
+		t.Errorf("attributes of an inaccessible element reported accessible: %v", attrs[bob])
+	}
+}
+
+func TestSpecStringAttrRoundTrip(t *testing.T) {
+	d := dtd.MustParse(attrDTD)
+	s := MustParseAnnotations(d, "ann(patient, @ssn) = N\n")
+	s2, err := ParseAnnotations(d, s.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if s2.String() != s.String() {
+		t.Errorf("attr annotation round trip mismatch: %q vs %q", s.String(), s2.String())
+	}
+}

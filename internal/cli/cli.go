@@ -1,0 +1,92 @@
+// Package cli holds the plumbing shared by the command-line tools:
+// loading DTDs and specifications from files or built-in scenarios, and
+// the repeatable -param flag for binding specification parameters.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/dtds"
+)
+
+// LoadSpec resolves an access specification from either a built-in
+// scenario name (hospital, adex, fig7) or a DTD file plus an annotation
+// file.
+func LoadSpec(builtin, dtdPath, specPath string) (*access.Spec, error) {
+	switch builtin {
+	case "hospital":
+		return dtds.NurseSpec(), nil
+	case "adex":
+		return dtds.AdexSpec(), nil
+	case "fig7":
+		return dtds.Fig7Spec(), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown builtin %q (want hospital, adex, or fig7)", builtin)
+	}
+	if dtdPath == "" || specPath == "" {
+		return nil, fmt.Errorf("need -dtd and -spec (or -builtin)")
+	}
+	d, err := LoadDTD(dtdPath)
+	if err != nil {
+		return nil, err
+	}
+	specSrc, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, err
+	}
+	return access.ParseAnnotations(d, string(specSrc))
+}
+
+// LoadDTD reads a DTD file, accepting both the compact syntax and
+// standard <!ELEMENT> declarations (detected by content).
+func LoadDTD(path string) (*dtd.DTD, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.Contains(string(src), "<!ELEMENT") {
+		return dtd.ParseElementSyntax(string(src))
+	}
+	return dtd.Parse(string(src))
+}
+
+// BindIfNeeded applies -param bindings when the specification has
+// parameters or bindings were given.
+func BindIfNeeded(spec *access.Spec, params Params) (*access.Spec, error) {
+	env := params.Env()
+	if len(env) == 0 && len(spec.Vars()) == 0 {
+		return spec, nil
+	}
+	return spec.Bind(env)
+}
+
+// Params is a repeatable "-param name=value" flag.
+type Params []string
+
+// String implements flag.Value.
+func (p *Params) String() string { return strings.Join(*p, ",") }
+
+// Set implements flag.Value.
+func (p *Params) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("expected name=value, got %q", v)
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+// Env converts the collected bindings into an environment map.
+func (p Params) Env() map[string]string {
+	env := make(map[string]string, len(p))
+	for _, kv := range p {
+		if k, v, ok := strings.Cut(kv, "="); ok {
+			env[k] = v
+		}
+	}
+	return env
+}

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadSpecBuiltins(t *testing.T) {
+	for _, name := range []string{"hospital", "adex", "fig7"} {
+		if _, err := LoadSpec(name, "", ""); err != nil {
+			t.Errorf("LoadSpec(%s): %v", name, err)
+		}
+	}
+	if _, err := LoadSpec("ghost", "", ""); err == nil {
+		t.Errorf("unknown builtin accepted")
+	}
+	if _, err := LoadSpec("", "", ""); err == nil {
+		t.Errorf("missing paths accepted")
+	}
+}
+
+func TestLoadSpecFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := filepath.Join(dir, "d.dtd")
+	specPath := filepath.Join(dir, "s.ann")
+	if err := os.WriteFile(dtdPath, []byte("root a\na -> b\nb -> #PCDATA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(specPath, []byte("ann(a, b) = N\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadSpec("", dtdPath, specPath)
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	if _, ok := spec.Ann("a", "b"); !ok {
+		t.Errorf("annotation lost")
+	}
+	if _, err := LoadSpec("", dtdPath, filepath.Join(dir, "missing")); err == nil {
+		t.Errorf("missing spec file accepted")
+	}
+	if _, err := LoadSpec("", filepath.Join(dir, "missing"), specPath); err == nil {
+		t.Errorf("missing dtd file accepted")
+	}
+}
+
+func TestLoadDTDElementSyntax(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e.dtd")
+	if err := os.WriteFile(path, []byte("<!ELEMENT a (#PCDATA)>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDTD(path)
+	if err != nil {
+		t.Fatalf("LoadDTD: %v", err)
+	}
+	if d.Root() != "a" {
+		t.Errorf("root = %q", d.Root())
+	}
+}
+
+func TestParams(t *testing.T) {
+	var p Params
+	if err := p.Set("wardNo=6"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := p.Set("x=y"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := p.Set("novalue"); err == nil {
+		t.Errorf("malformed param accepted")
+	}
+	env := p.Env()
+	if env["wardNo"] != "6" || env["x"] != "y" {
+		t.Errorf("Env = %v", env)
+	}
+	if p.String() == "" {
+		t.Errorf("String empty")
+	}
+}
+
+func TestBindIfNeeded(t *testing.T) {
+	spec, _ := LoadSpec("hospital", "", "")
+	var p Params
+	_ = p.Set("wardNo=6")
+	bound, err := BindIfNeeded(spec, p)
+	if err != nil {
+		t.Fatalf("BindIfNeeded: %v", err)
+	}
+	if len(bound.Vars()) != 0 {
+		t.Errorf("vars remain: %v", bound.Vars())
+	}
+	// Missing binding errors.
+	if _, err := BindIfNeeded(spec, nil); err == nil {
+		t.Errorf("unbound spec accepted")
+	}
+	// No-op for parameterless specs.
+	adex, _ := LoadSpec("adex", "", "")
+	same, err := BindIfNeeded(adex, nil)
+	if err != nil || same != adex {
+		t.Errorf("parameterless spec rebound: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package core wires the paper's full framework (Fig. 3) into one
+// engine: a security administrator's access specification is compiled
+// into a security view (package secview), user queries posed over the
+// exposed view DTD are rewritten into equivalent document queries
+// (package rewrite), optionally optimized against the document DTD
+// (package optimize), and evaluated over the original document (package
+// xpath) — the view itself is never materialized on the query path.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/optimize"
+	"repro/internal/rewrite"
+	"repro/internal/secview"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Engine enforces one access policy: it owns the derived security view
+// and the per-view rewriting and optimization state. An Engine is cheap
+// to keep around and reuse across documents and queries; build one per
+// (policy, parameter binding) pair.
+type Engine struct {
+	spec *access.Spec
+	view *secview.View
+	opt  *optimize.Optimizer
+
+	// flat is the rewriter for non-recursive views; recursive views get
+	// per-height rewriters built on demand (Section 4.2), guarded by mu so
+	// an Engine is safe for concurrent use.
+	flat     *rewrite.Rewriter
+	mu       sync.Mutex
+	byHeight map[int]*rewrite.Rewriter
+}
+
+// New derives the security view for a bound access specification (no
+// free $parameters) and prepares the engine.
+func New(spec *access.Spec) (*Engine, error) {
+	if vars := spec.Vars(); len(vars) > 0 {
+		return nil, fmt.Errorf("core: specification has unbound parameters %v; call Spec.Bind first", vars)
+	}
+	view, err := secview.Derive(spec)
+	if err != nil {
+		return nil, err
+	}
+	return FromView(view)
+}
+
+// FromView builds an engine around an already-derived view — typically
+// one loaded from a serialized definition (secview.UnmarshalView), so
+// query frontends need not re-derive per process.
+func FromView(view *secview.View) (*Engine, error) {
+	e := &Engine{
+		spec:     view.Spec,
+		view:     view,
+		opt:      optimize.New(view.Doc),
+		byHeight: make(map[int]*rewrite.Rewriter),
+	}
+	if !view.IsRecursive() {
+		r, err := rewrite.ForView(view)
+		if err != nil {
+			return nil, err
+		}
+		e.flat = r
+	}
+	return e, nil
+}
+
+// View returns the derived security view (view DTD plus σ).
+func (e *Engine) View() *secview.View { return e.view }
+
+// ViewDTD returns the view DTD D_v — the only schema information exposed
+// to users authorized by the policy.
+func (e *Engine) ViewDTD() *dtd.DTD { return e.view.DTD }
+
+// DocumentDTD returns the original document DTD D (administrator-side).
+func (e *Engine) DocumentDTD() *dtd.DTD { return e.spec.D }
+
+// Spec returns the bound access specification.
+func (e *Engine) Spec() *access.Spec { return e.spec }
+
+// Rewriter returns the query rewriter for documents of the given height
+// (the height only matters for recursive views, which are unfolded to
+// it; any height works for non-recursive views).
+func (e *Engine) Rewriter(height int) (*rewrite.Rewriter, error) {
+	if e.flat != nil {
+		return e.flat, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.byHeight[height]; ok {
+		return r, nil
+	}
+	r, err := rewrite.ForViewWithHeight(e.view, height)
+	if err != nil {
+		return nil, err
+	}
+	e.byHeight[height] = r
+	return r, nil
+}
+
+// Rewrite translates a view query into the equivalent document query p_t.
+// Recursive views need the height of the document the query will run on.
+func (e *Engine) Rewrite(p xpath.Path, height int) (xpath.Path, error) {
+	r, err := e.Rewriter(height)
+	if err != nil {
+		return nil, err
+	}
+	return r.Rewrite(p)
+}
+
+// Optimize improves a document query using the document DTD's structural
+// constraints (Section 5). It is equivalence-preserving and never errors:
+// constructs outside the optimizer's reasoning pass through unchanged.
+func (e *Engine) Optimize(p xpath.Path) xpath.Path {
+	return e.opt.Optimize(p)
+}
+
+// Query answers a view query over a document: rewrite, optimize, and
+// evaluate over the original tree. The result contains exactly the
+// document nodes the policy exposes to the query.
+func (e *Engine) Query(doc *xmltree.Document, p xpath.Path) ([]*xmltree.Node, error) {
+	pt, err := e.Rewrite(p, doc.Height())
+	if err != nil {
+		return nil, err
+	}
+	return xpath.EvalDoc(e.Optimize(pt), doc), nil
+}
+
+// QueryString is Query with parsing.
+func (e *Engine) QueryString(doc *xmltree.Document, query string) ([]*xmltree.Node, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Query(doc, p)
+}
+
+// Prepared is a view query rewritten and optimized once, reusable across
+// documents. Preparation is only available for non-recursive views (a
+// recursive view's rewriting depends on each document's height).
+type Prepared struct {
+	// Source is the original view query.
+	Source xpath.Path
+	// Rewritten is rw(p, r) over the document DTD.
+	Rewritten xpath.Path
+	// Optimized is the DTD-optimized form actually evaluated.
+	Optimized xpath.Path
+}
+
+// Prepare rewrites and optimizes a view query once, so frontends can
+// amortize translation across many documents and evaluations.
+func (e *Engine) Prepare(p xpath.Path) (*Prepared, error) {
+	if e.flat == nil {
+		return nil, fmt.Errorf("core: Prepare needs a non-recursive view; use Rewrite with the document height")
+	}
+	pt, err := e.flat.Rewrite(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Source: p, Rewritten: pt, Optimized: e.Optimize(pt)}, nil
+}
+
+// PrepareString parses and prepares in one step.
+func (e *Engine) PrepareString(query string) (*Prepared, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Prepare(p)
+}
+
+// Eval runs a prepared query over a document with the tree evaluator.
+func (q *Prepared) Eval(doc *xmltree.Document) []*xmltree.Node {
+	return xpath.EvalDoc(q.Optimized, doc)
+}
+
+// EvalIndexed runs a prepared query against a prebuilt label index.
+func (q *Prepared) EvalIndexed(idx *xpath.Index) []*xmltree.Node {
+	return xpath.EvalIndexed(q.Optimized, idx)
+}
+
+// Materialize builds the view instance T_v of a document — the view's
+// semantics, used for auditing and testing, never on the query path.
+func (e *Engine) Materialize(doc *xmltree.Document) (*secview.Materialized, error) {
+	return secview.Materialize(e.view, doc)
+}
+
+// Audit checks that the derived view is sound and complete on a concrete
+// document (Theorem 3.2's property, verified dynamically).
+func (e *Engine) Audit(doc *xmltree.Document) error {
+	_, err := secview.CheckSoundComplete(e.view, doc)
+	return err
+}

@@ -1,0 +1,121 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AttrDef declares one attribute of an element type. The paper's model
+// omits attributes ("they can be easily incorporated"); this is that
+// incorporation: attributes are named string values on elements, either
+// required (#REQUIRED) or optional (#IMPLIED).
+type AttrDef struct {
+	Name     string
+	Required bool
+}
+
+// String renders the definition in the compact syntax (a trailing '!'
+// marks required attributes).
+func (a AttrDef) String() string {
+	if a.Required {
+		return a.Name + "!"
+	}
+	return a.Name
+}
+
+// SetAttlist declares the attributes of an element type, replacing any
+// previous declaration.
+func (d *DTD) SetAttlist(elem string, defs []AttrDef) {
+	if d.attlists == nil {
+		d.attlists = make(map[string][]AttrDef)
+	}
+	if len(defs) == 0 {
+		delete(d.attlists, elem)
+		return
+	}
+	d.attlists[elem] = append([]AttrDef(nil), defs...)
+}
+
+// Attlist returns the declared attributes of an element type in
+// declaration order.
+func (d *DTD) Attlist(elem string) []AttrDef {
+	return append([]AttrDef(nil), d.attlists[elem]...)
+}
+
+// Attr looks up one attribute declaration.
+func (d *DTD) Attr(elem, name string) (AttrDef, bool) {
+	for _, a := range d.attlists[elem] {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttrDef{}, false
+}
+
+// checkAttlists validates attribute declarations: they must attach to
+// declared element types and contain no duplicate names.
+func (d *DTD) checkAttlists() error {
+	for elem, defs := range d.attlists {
+		if !d.Has(elem) {
+			return fmt.Errorf("dtd: attlist for undeclared element type %q", elem)
+		}
+		seen := make(map[string]bool, len(defs))
+		for _, a := range defs {
+			if a.Name == "" {
+				return fmt.Errorf("dtd: empty attribute name on %q", elem)
+			}
+			if seen[a.Name] {
+				return fmt.Errorf("dtd: duplicate attribute %q on %q", a.Name, elem)
+			}
+			seen[a.Name] = true
+		}
+	}
+	return nil
+}
+
+// parseAttlist reads an "attlist elem name1!, name2" line.
+func parseAttlist(d *DTD, line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "attlist"))
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) != 2 {
+		return fmt.Errorf("expected 'attlist <element> <attr>[, <attr>...]', got %q", line)
+	}
+	elem := strings.TrimSpace(fields[0])
+	var defs []AttrDef
+	for _, part := range strings.Split(fields[1], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return fmt.Errorf("empty attribute name in %q", line)
+		}
+		def := AttrDef{Name: part}
+		if strings.HasSuffix(part, "!") {
+			def = AttrDef{Name: strings.TrimSuffix(part, "!"), Required: true}
+		}
+		if def.Name == "" || strings.ContainsAny(def.Name, " \t!") {
+			return fmt.Errorf("invalid attribute name %q", part)
+		}
+		defs = append(defs, def)
+	}
+	if prev := d.attlists[elem]; prev != nil {
+		return fmt.Errorf("duplicate attlist for %q", elem)
+	}
+	d.SetAttlist(elem, defs)
+	return nil
+}
+
+// attlistString renders all attribute declarations.
+func (d *DTD) attlistString() string {
+	var b strings.Builder
+	for _, elem := range d.order {
+		defs := d.attlists[elem]
+		if len(defs) == 0 {
+			continue
+		}
+		parts := make([]string, len(defs))
+		for i, a := range defs {
+			parts[i] = a.String()
+		}
+		fmt.Fprintf(&b, "attlist %s %s\n", elem, strings.Join(parts, ", "))
+	}
+	return b.String()
+}

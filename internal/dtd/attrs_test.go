@@ -1,0 +1,123 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttlistParseAndString(t *testing.T) {
+	d, err := Parse(`
+root patient
+patient -> name
+name -> #PCDATA
+attlist patient id!, ssn, insurer
+attlist name lang
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	defs := d.Attlist("patient")
+	if len(defs) != 3 {
+		t.Fatalf("Attlist = %v", defs)
+	}
+	if defs[0].Name != "id" || !defs[0].Required {
+		t.Errorf("id def = %v", defs[0])
+	}
+	if defs[1].Name != "ssn" || defs[1].Required {
+		t.Errorf("ssn def = %v", defs[1])
+	}
+	if def, ok := d.Attr("patient", "insurer"); !ok || def.Required {
+		t.Errorf("Attr(insurer) = %v, %v", def, ok)
+	}
+	if _, ok := d.Attr("patient", "nosuch"); ok {
+		t.Errorf("undeclared attribute found")
+	}
+	if _, ok := d.Attr("nosuch", "id"); ok {
+		t.Errorf("attribute on undeclared element found")
+	}
+	// Round trip.
+	d2, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.String() != d.String() {
+		t.Errorf("attlist round trip mismatch:\n%s\nvs\n%s", d, d2)
+	}
+}
+
+func TestAttlistErrors(t *testing.T) {
+	cases := []string{
+		"root a\na -> EMPTY\nattlist b id\n",              // undeclared element
+		"root a\na -> EMPTY\nattlist a id, id\n",          // duplicate attribute
+		"root a\na -> EMPTY\nattlist a\n",                 // missing names
+		"root a\na -> EMPTY\nattlist a id\nattlist a x\n", // duplicate attlist
+		"root a\na -> EMPTY\nattlist a ,\n",               // empty name
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAttlistCloneAndSize(t *testing.T) {
+	d := MustParse("root a\na -> EMPTY\nattlist a x!, y\n")
+	base := d.Size()
+	cp := d.Clone()
+	cp.SetAttlist("a", []AttrDef{{Name: "z"}})
+	if len(d.Attlist("a")) != 2 {
+		t.Errorf("Clone shares attlists")
+	}
+	if cp.Size() != base-1 {
+		t.Errorf("Size after attlist change = %d, want %d", cp.Size(), base-1)
+	}
+	cp.SetAttlist("a", nil)
+	if len(cp.Attlist("a")) != 0 {
+		t.Errorf("SetAttlist(nil) did not clear")
+	}
+}
+
+func TestElementSyntaxExport(t *testing.T) {
+	d := MustParse(`
+root hospital
+hospital -> dept*
+dept -> patientInfo*, staffInfo
+patientInfo -> patient*
+patient -> name, treatment
+treatment -> trial + regular
+trial -> EMPTY
+regular -> EMPTY
+staffInfo -> EMPTY
+name -> #PCDATA
+attlist patient id!, ward
+`)
+	out := d.ElementSyntax()
+	for _, want := range []string{
+		"<!-- root: hospital -->",
+		"<!ELEMENT hospital (dept)*>",
+		"<!ELEMENT dept (patientInfo*, staffInfo)>",
+		"<!ELEMENT treatment (trial | regular)>",
+		"<!ELEMENT name (#PCDATA)>",
+		"<!ELEMENT trial EMPTY>",
+		"<!ATTLIST patient id CDATA #REQUIRED ward CDATA #IMPLIED>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ElementSyntax missing %q:\n%s", want, out)
+		}
+	}
+	// The export re-parses (attlists are parse-ignored; structure must
+	// survive normalization).
+	back, err := ParseElementSyntax(out)
+	if err != nil {
+		t.Fatalf("re-parse of export: %v", err)
+	}
+	if back.Root() != "hospital" {
+		t.Errorf("root = %q", back.Root())
+	}
+	if err := back.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	if !back.IsStrictNormalForm() {
+		t.Errorf("re-parsed export not normal form")
+	}
+}

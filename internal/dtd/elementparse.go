@@ -1,0 +1,360 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseElementSyntax reads a DTD written with standard XML <!ELEMENT>
+// declarations and returns it normalized into the paper's production
+// normal form (str | ε | concat | disjunction | star). General content
+// models such as
+//
+//	<!ELEMENT a (b, (c | d)*, e?)>
+//
+// are normalized by introducing synthetic element types (named _gN) for
+// nested groups, as the paper's Section 2 permits ("all DTDs can be
+// expressed in this form by introducing new element types"). The root is
+// the first declared element unless a "<!-- root: name -->" comment
+// appears before the first declaration.
+//
+// Supported content specs: EMPTY, ANY (treated as an error — the normal
+// form cannot express it), (#PCDATA), and parenthesized groups over names
+// with the connectors ',' and '|' and the quantifiers '?', '*', '+'.
+// Attribute-list declarations are ignored.
+func ParseElementSyntax(src string) (*DTD, error) {
+	root := ""
+	if i := strings.Index(src, "<!-- root:"); i >= 0 {
+		rest := src[i+len("<!-- root:"):]
+		if j := strings.Index(rest, "-->"); j >= 0 {
+			root = strings.TrimSpace(rest[:j])
+		}
+	}
+	type decl struct {
+		name string
+		re   Regex
+	}
+	var decls []decl
+	s := src
+	for {
+		i := strings.Index(s, "<!ELEMENT")
+		if i < 0 {
+			break
+		}
+		s = s[i+len("<!ELEMENT"):]
+		j := strings.Index(s, ">")
+		if j < 0 {
+			return nil, fmt.Errorf("dtd: unterminated <!ELEMENT declaration")
+		}
+		body := strings.TrimSpace(s[:j])
+		s = s[j+1:]
+		fields := strings.Fields(body)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dtd: malformed <!ELEMENT %s>", body)
+		}
+		name := fields[0]
+		spec := strings.TrimSpace(strings.TrimPrefix(body, name))
+		re, err := parseContentSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("dtd: element %s: %v", name, err)
+		}
+		decls = append(decls, decl{name: name, re: re})
+	}
+	if len(decls) == 0 {
+		return nil, fmt.Errorf("dtd: no <!ELEMENT declarations found")
+	}
+	if root == "" {
+		root = decls[0].name
+	}
+	d := New(root)
+	norm := &normalizer{d: d}
+	for _, dc := range decls {
+		if d.Has(dc.name) {
+			return nil, fmt.Errorf("dtd: duplicate declaration of %s", dc.name)
+		}
+		c, err := norm.contentOf(dc.re)
+		if err != nil {
+			return nil, fmt.Errorf("dtd: element %s: %v", dc.name, err)
+		}
+		d.SetProduction(dc.name, c)
+	}
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ElementSyntax renders the DTD as standard <!ELEMENT> declarations (with
+// a root marker comment), the publishable counterpart of the compact
+// syntax — e.g. for handing a derived view DTD to users whose tooling
+// expects real DTDs. Starred items inside sequences (the view compact
+// form) render with their quantifier, so ParseElementSyntax(ElementSyntax(d))
+// accepts every DTD this package produces. Attribute declarations render
+// as <!ATTLIST> with #REQUIRED / #IMPLIED CDATA attributes.
+func (d *DTD) ElementSyntax() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!-- root: %s -->\n", d.Root())
+	for _, a := range d.Types() {
+		c := d.MustProduction(a)
+		fmt.Fprintf(&b, "<!ELEMENT %s %s>\n", a, contentSpec(c))
+		defs := d.Attlist(a)
+		if len(defs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "<!ATTLIST %s", a)
+		for _, def := range defs {
+			req := "#IMPLIED"
+			if def.Required {
+				req = "#REQUIRED"
+			}
+			fmt.Fprintf(&b, " %s CDATA %s", def.Name, req)
+		}
+		b.WriteString(">\n")
+	}
+	return b.String()
+}
+
+func contentSpec(c Content) string {
+	item := func(it Item) string {
+		if it.Starred {
+			return it.Name + "*"
+		}
+		return it.Name
+	}
+	switch c.Kind {
+	case Empty:
+		return "EMPTY"
+	case Text:
+		return "(#PCDATA)"
+	case Star:
+		return "(" + c.Items[0].Name + ")*"
+	case Seq:
+		parts := make([]string, len(c.Items))
+		for i, it := range c.Items {
+			parts[i] = item(it)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case Choice:
+		parts := make([]string, len(c.Items))
+		for i, it := range c.Items {
+			parts[i] = item(it)
+		}
+		return "(" + strings.Join(parts, " | ") + ")"
+	default:
+		return "EMPTY"
+	}
+}
+
+// normalizer rewrites general regular expressions into normal-form
+// productions, minting synthetic element types for nested groups.
+type normalizer struct {
+	d    *DTD
+	next int
+}
+
+// contentOf converts a parsed content spec into a normal-form Content,
+// adding synthetic productions to the DTD as needed.
+func (n *normalizer) contentOf(r Regex) (Content, error) {
+	switch r := r.(type) {
+	case REpsilon:
+		return EmptyContent(), nil
+	case RText:
+		return TextContent(), nil
+	case RName:
+		return SeqContent(r.Name), nil
+	case RSeq:
+		items := make([]Item, 0, len(r.Parts))
+		for _, p := range r.Parts {
+			name, err := n.nameOf(p)
+			if err != nil {
+				return Content{}, err
+			}
+			items = append(items, Item{Name: name})
+		}
+		return Content{Kind: Seq, Items: items}, nil
+	case RAlt:
+		items := make([]Item, 0, len(r.Alts))
+		for _, a := range r.Alts {
+			name, err := n.nameOf(a)
+			if err != nil {
+				return Content{}, err
+			}
+			items = append(items, Item{Name: name})
+		}
+		return Content{Kind: Choice, Items: items}, nil
+	case RStar:
+		name, err := n.nameOf(r.Sub)
+		if err != nil {
+			return Content{}, err
+		}
+		return StarContent(name), nil
+	case RPlus:
+		// x+ ≡ x, x*: a two-position sequence over a synthetic star type.
+		name, err := n.nameOf(r.Sub)
+		if err != nil {
+			return Content{}, err
+		}
+		star := n.mint(StarContent(name))
+		return Content{Kind: Seq, Items: []Item{{Name: name}, {Name: star}}}, nil
+	case ROpt:
+		// x? ≡ x + _empty: a choice with a synthetic empty type.
+		name, err := n.nameOf(r.Sub)
+		if err != nil {
+			return Content{}, err
+		}
+		empty := n.mint(EmptyContent())
+		return Content{Kind: Choice, Items: []Item{{Name: name}, {Name: empty}}}, nil
+	default:
+		return Content{}, fmt.Errorf("cannot normalize content model %s", r)
+	}
+}
+
+// nameOf returns an element-type name denoting the language of r,
+// minting a synthetic type when r is not a bare name.
+func (n *normalizer) nameOf(r Regex) (string, error) {
+	if name, ok := r.(RName); ok {
+		return name.Name, nil
+	}
+	c, err := n.contentOf(r)
+	if err != nil {
+		return "", err
+	}
+	return n.mint(c), nil
+}
+
+// mint declares a fresh synthetic element type with the given production.
+func (n *normalizer) mint(c Content) string {
+	n.next++
+	name := fmt.Sprintf("_g%d", n.next)
+	n.d.SetProduction(name, c)
+	return name
+}
+
+// parseContentSpec parses an <!ELEMENT> content spec into a Regex.
+func parseContentSpec(spec string) (Regex, error) {
+	switch spec {
+	case "EMPTY":
+		return REpsilon{}, nil
+	case "ANY":
+		return nil, fmt.Errorf("ANY content is not expressible in the paper's normal form")
+	}
+	p := &cmParser{src: spec}
+	r, err := p.parseCP()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing input %q in content model", p.src[p.pos:])
+	}
+	return r, nil
+}
+
+type cmParser struct {
+	src string
+	pos int
+}
+
+func (p *cmParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *cmParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// parseCP parses a content particle: name or group, followed by an
+// optional quantifier.
+func (p *cmParser) parseCP() (Regex, error) {
+	p.skipSpace()
+	var base Regex
+	switch {
+	case p.peek() == '(':
+		p.pos++
+		r, err := p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		base = r
+	case strings.HasPrefix(p.src[p.pos:], "#PCDATA"):
+		p.pos += len("#PCDATA")
+		base = RText{}
+	default:
+		name := p.parseName()
+		if name == "" {
+			return nil, fmt.Errorf("expected name or '(' at offset %d in %q", p.pos, p.src)
+		}
+		base = RName{Name: name}
+	}
+	switch p.peek() {
+	case '?':
+		p.pos++
+		return ROpt{Sub: base}, nil
+	case '*':
+		p.pos++
+		return RStar{Sub: base}, nil
+	case '+':
+		p.pos++
+		return RPlus{Sub: base}, nil
+	}
+	return base, nil
+}
+
+// parseGroup parses the inside of a parenthesized group up to and
+// including the closing ')'.
+func (p *cmParser) parseGroup() (Regex, error) {
+	first, err := p.parseCP()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Regex{first}
+	connector := byte(0)
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case ')':
+			p.pos++
+			if len(parts) == 1 {
+				return parts[0], nil
+			}
+			if connector == ',' {
+				return RSeq{Parts: parts}, nil
+			}
+			return RAlt{Alts: parts}, nil
+		case ',', '|':
+			c := p.peek()
+			if connector != 0 && connector != c {
+				return nil, fmt.Errorf("mixed ',' and '|' in one group at offset %d in %q", p.pos, p.src)
+			}
+			connector = c
+			p.pos++
+			next, err := p.parseCP()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, next)
+		case 0:
+			return nil, fmt.Errorf("unterminated group in %q", p.src)
+		default:
+			return nil, fmt.Errorf("unexpected %q at offset %d in %q", string(p.peek()), p.pos, p.src)
+		}
+	}
+}
+
+func (p *cmParser) parseName() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || c == ',' || c == '|' || c == '?' || c == '*' || c == '+' || unicode.IsSpace(rune(c)) {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}

@@ -1,0 +1,102 @@
+package dtd
+
+import "testing"
+
+// FuzzParse checks that the compact DTD parser never panics and that
+// accepted DTDs round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"root a\na -> EMPTY\n",
+		"root a\na -> b*\nb -> #PCDATA\n",
+		"root a\na -> b, c\nb -> x + y\nc -> EMPTY\nx -> EMPTY\ny -> EMPTY\n",
+		"root a\na -> b*, c\nb -> EMPTY\nc -> EMPTY\n",
+		"root a\na -> a*\n",
+		"root a # comment\na -> #PCDATA # more\n",
+		"root",
+		"a -> b\n",
+		"root a\na -> b, c + d\n",
+		"root a\na ->\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		d2, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("String() of accepted DTD does not reparse: %v\n%s", err, d.String())
+		}
+		if d2.String() != d.String() {
+			t.Fatalf("round trip changed the DTD:\n%s\nvs\n%s", d.String(), d2.String())
+		}
+	})
+}
+
+// FuzzParseElementSyntax checks the <!ELEMENT> parser and normalizer.
+func FuzzParseElementSyntax(f *testing.F) {
+	for _, seed := range []string{
+		"<!ELEMENT a (#PCDATA)>",
+		"<!ELEMENT a (b, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>",
+		"<!ELEMENT a (b | c)+> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>",
+		"<!-- root: r --> <!ELEMENT r (a)*> <!ELEMENT a (#PCDATA)>",
+		"<!ELEMENT a ((b, c) | d)*> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>",
+		"<!ELEMENT a ANY>",
+		"<!ELEMENT a (b>",
+		"<!ELEMENT",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseElementSyntax(src)
+		if err != nil {
+			return
+		}
+		if err := d.Check(); err != nil {
+			t.Fatalf("accepted DTD fails Check: %v", err)
+		}
+		if !d.IsStrictNormalForm() {
+			t.Fatalf("normalizer produced non-normal-form DTD:\n%s", d)
+		}
+	})
+}
+
+// FuzzMatchLabels checks that derivative matching never panics on
+// arbitrary label sequences.
+func FuzzMatchLabels(f *testing.F) {
+	f.Add("a,b|c*", "a b c")
+	f.Add("x", "")
+	f.Fuzz(func(t *testing.T, shape, seq string) {
+		// Interpret shape loosely as a content model over single-letter
+		// names; fall back to a fixed model on parse failure.
+		c, err := parseContent(shape)
+		if err != nil {
+			c = SeqContent("a", "b")
+		}
+		var labels []string
+		for _, part := range splitFields(seq) {
+			labels = append(labels, part)
+		}
+		c.MatchContent(labels) // must not panic
+	})
+}
+
+func splitFields(s string) []string {
+	var out []string
+	field := ""
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' {
+			if field != "" {
+				out = append(out, field)
+				field = ""
+			}
+			continue
+		}
+		field += string(r)
+	}
+	if field != "" {
+		out = append(out, field)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a DTD in the package's compact text syntax:
+//
+//	# comment
+//	root hospital
+//	hospital -> dept*
+//	dept -> clinicalTrial, patientInfo, staffInfo
+//	treatment -> trial + regular
+//	name -> #PCDATA
+//	leaf -> EMPTY
+//
+// The first non-comment line must declare the root. Productions use ','
+// for concatenation, '+' for disjunction, a trailing '*' for Kleene star,
+// '#PCDATA' for text content, and 'EMPTY' (or 'EPSILON') for the empty
+// production. Starred items inside sequences/choices (view-DTD compact
+// form) are accepted.
+func Parse(src string) (*DTD, error) {
+	var d *DTD
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if d == nil {
+			fields := strings.Fields(line)
+			if len(fields) != 2 || fields[0] != "root" {
+				return nil, fmt.Errorf("dtd: line %d: expected 'root <name>', got %q", lineno+1, line)
+			}
+			d = New(fields[1])
+			continue
+		}
+		if strings.HasPrefix(line, "attlist ") {
+			if err := parseAttlist(d, line); err != nil {
+				return nil, fmt.Errorf("dtd: line %d: %v", lineno+1, err)
+			}
+			continue
+		}
+		name, rhs, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("dtd: line %d: expected '<name> -> <content>', got %q", lineno+1, line)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" || strings.ContainsAny(name, " \t") {
+			return nil, fmt.Errorf("dtd: line %d: invalid element type name %q", lineno+1, name)
+		}
+		if d.Has(name) {
+			return nil, fmt.Errorf("dtd: line %d: duplicate production for %q", lineno+1, name)
+		}
+		c, err := parseContent(strings.TrimSpace(rhs))
+		if err != nil {
+			return nil, fmt.Errorf("dtd: line %d: %v", lineno+1, err)
+		}
+		d.SetProduction(name, c)
+	}
+	if d == nil {
+		return nil, fmt.Errorf("dtd: empty input")
+	}
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustParse is Parse for trusted inputs such as embedded schemas; it
+// panics on error.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// stripComment removes a trailing '#'-comment from a line. A '#' begins a
+// comment unless it starts the token "#PCDATA".
+func stripComment(line string) string {
+	for i := 0; i < len(line); i++ {
+		if line[i] == '#' && !strings.HasPrefix(line[i:], "#PCDATA") {
+			line = line[:i]
+			break
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+func parseContent(rhs string) (Content, error) {
+	switch rhs {
+	case "":
+		return Content{}, fmt.Errorf("empty content model")
+	case "EMPTY", "EPSILON", "ε":
+		return EmptyContent(), nil
+	case "#PCDATA", "str":
+		return TextContent(), nil
+	}
+	hasComma := strings.Contains(rhs, ",")
+	hasPlus := strings.Contains(rhs, "+")
+	if hasComma && hasPlus {
+		return Content{}, fmt.Errorf("content model %q mixes ',' and '+' (not in normal form)", rhs)
+	}
+	var parts []string
+	kind := Seq
+	switch {
+	case hasComma:
+		parts = strings.Split(rhs, ",")
+	case hasPlus:
+		parts = strings.Split(rhs, "+")
+		kind = Choice
+	default:
+		parts = []string{rhs}
+	}
+	items := make([]Item, 0, len(parts))
+	anyStar := false
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return Content{}, fmt.Errorf("content model %q has an empty position", rhs)
+		}
+		it := Item{Name: p}
+		if strings.HasSuffix(p, "*") {
+			it = Item{Name: strings.TrimSuffix(p, "*"), Starred: true}
+			anyStar = true
+		}
+		if it.Name == "" || strings.ContainsAny(it.Name, " \t*") {
+			return Content{}, fmt.Errorf("invalid element type name %q in content model", p)
+		}
+		items = append(items, it)
+	}
+	if len(items) == 1 && items[0].Starred {
+		return StarContent(items[0].Name), nil
+	}
+	if len(items) == 1 {
+		// A single unstarred name is a one-element concatenation.
+		return Content{Kind: Seq, Items: items}, nil
+	}
+	_ = anyStar // starred items in sequences/choices are allowed (view compact form)
+	return Content{Kind: kind, Items: items}, nil
+}

@@ -1,0 +1,147 @@
+package dtds
+
+import (
+	"testing"
+
+	"repro/internal/secview"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func TestSchemasParse(t *testing.T) {
+	if got := Hospital().Root(); got != "hospital" {
+		t.Errorf("hospital root = %q", got)
+	}
+	if got := Adex().Root(); got != "adex" {
+		t.Errorf("adex root = %q", got)
+	}
+	if !Fig7().IsRecursive() {
+		t.Errorf("Fig7 DTD not recursive")
+	}
+	if Adex().IsRecursive() || Hospital().IsRecursive() {
+		t.Errorf("non-recursive schemas reported recursive")
+	}
+	if n := Adex().Len(); n < 40 {
+		t.Errorf("Adex DTD has only %d types", n)
+	}
+}
+
+func TestSpecsParse(t *testing.T) {
+	if got := NurseSpec().Vars(); len(got) != 1 || got[0] != "wardNo" {
+		t.Errorf("nurse vars = %v", got)
+	}
+	if got := AdexSpec().Vars(); len(got) != 0 {
+		t.Errorf("adex vars = %v", got)
+	}
+	if got := Fig7Spec().Edges(); len(got) != 2 {
+		t.Errorf("fig7 spec edges = %v", got)
+	}
+}
+
+func TestAdexViewShape(t *testing.T) {
+	v, err := secview.Derive(AdexSpec())
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	// Prune-only view: adex -> buyer-info*, real-estate*; no dummies.
+	c, ok := v.DTD.Production("adex")
+	if !ok {
+		t.Fatalf("view has no adex production")
+	}
+	if got := c.String(); got != "buyer-info*, real-estate*" {
+		t.Errorf("adex view production = %q", got)
+	}
+	if len(v.DummyOf) != 0 {
+		t.Errorf("adex view has dummies: %v", v.DummyOf)
+	}
+	for _, hidden := range []string{"head", "body", "ad-instance", "employment", "automotive", "billing-info"} {
+		if v.DTD.Has(hidden) {
+			t.Errorf("hidden type %s in view DTD", hidden)
+		}
+	}
+	for _, visible := range []string{"buyer-info", "contact-info", "company-id", "real-estate", "house", "apartment", "r-e.warranty"} {
+		if !v.DTD.Has(visible) {
+			t.Errorf("visible type %s missing from view DTD", visible)
+		}
+	}
+	// Soundness and completeness on a generated instance.
+	if _, err := secview.CheckSoundComplete(v, GenerateAdex(11, 3)); err != nil {
+		t.Errorf("CheckSoundComplete: %v", err)
+	}
+}
+
+func TestGenerateAdexConforms(t *testing.T) {
+	doc := GenerateAdex(5, 4)
+	if err := xmltree.Validate(doc, Adex()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Branching factor scales size.
+	small := GenerateAdex(5, 2)
+	large := GenerateAdex(5, 10)
+	if small.Size() >= large.Size() {
+		t.Errorf("sizes do not scale: %d vs %d", small.Size(), large.Size())
+	}
+}
+
+func TestGenerateHospitalConforms(t *testing.T) {
+	doc := GenerateHospital(5, 3)
+	if err := xmltree.Validate(doc, Hospital()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Ward numbers cycle over a small set so qualifiers select subsets.
+	wards := map[string]bool{}
+	for _, n := range xpath.EvalDoc(xpath.MustParse("//wardNo"), doc) {
+		wards[n.Text()] = true
+	}
+	if len(wards) < 2 {
+		t.Errorf("only %d distinct wards generated", len(wards))
+	}
+}
+
+func TestAdexQueriesParse(t *testing.T) {
+	if len(AdexQueries) != 4 {
+		t.Fatalf("expected 4 benchmark queries")
+	}
+	for name, q := range AdexQueries {
+		if _, err := xpath.Parse(q); err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+		}
+	}
+}
+
+func TestNurseViewOnGeneratedData(t *testing.T) {
+	bound, err := NurseSpec().Bind(map[string]string{"wardNo": "1"})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	v, err := secview.Derive(bound)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if _, err := secview.CheckSoundComplete(v, GenerateHospital(3, 3)); err != nil {
+		t.Errorf("CheckSoundComplete: %v", err)
+	}
+}
+
+func TestForumScenario(t *testing.T) {
+	if !Forum().IsRecursive() {
+		t.Fatalf("forum DTD not recursive")
+	}
+	doc := GenerateForum(9, 2, 8)
+	if err := xmltree.Validate(doc, Forum()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	v, err := secview.Derive(ForumGuestSpec())
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if !v.DTD.IsRecursive() {
+		t.Errorf("guest view lost recursion")
+	}
+	if v.DTD.Has("modnote") {
+		t.Errorf("modnote exposed in guest view")
+	}
+	if _, err := secview.CheckSoundComplete(v, doc); err != nil {
+		t.Errorf("CheckSoundComplete: %v", err)
+	}
+}

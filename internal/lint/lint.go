@@ -1,0 +1,171 @@
+// Package lint provides the administrator-side static checks behind the
+// paper's "simple GUI tool" for authoring access specifications: it flags
+// annotations that do nothing, annotations on unreachable schema regions,
+// and — approximating the "iff such a view exists" side of Theorem 3.2 —
+// derived views that can abort on some document instances (a required
+// concatenation child or a disjunction whose extraction is conditional).
+// All checks are advisory: a specification with warnings still derives
+// and enforces correctly on documents that avoid the flagged situations.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/secview"
+	"repro/internal/xpath"
+)
+
+// Code classifies an issue.
+type Code string
+
+const (
+	// RedundantAnnotation flags an explicit annotation equal to what
+	// inheritance would yield in every context the edge occurs in.
+	RedundantAnnotation Code = "redundant-annotation"
+	// UnreachableAnnotation flags an annotation on an edge not reachable
+	// from the DTD root.
+	UnreachableAnnotation Code = "unreachable-annotation"
+	// TrivialCondition flags a conditional annotation whose qualifier is
+	// constant.
+	TrivialCondition Code = "trivial-condition"
+	// AbortRisk flags a view production that can make materialization
+	// abort (Section 3.3): strictly-required entries whose extraction is
+	// conditional, or disjunctions with conditional or pruned branches.
+	AbortRisk Code = "abort-risk"
+)
+
+// Issue is one linter finding.
+type Issue struct {
+	Code   Code
+	Parent string // DTD or view element type
+	Child  string // production entry, "" for whole-production issues
+	Msg    string
+}
+
+func (i Issue) String() string {
+	loc := i.Parent
+	if i.Child != "" {
+		loc += ", " + i.Child
+	}
+	return fmt.Sprintf("%s (%s): %s", i.Code, loc, i.Msg)
+}
+
+// Check runs all specification-level checks and, when the view derives,
+// the view-level abort-risk checks.
+func Check(spec *access.Spec) []Issue {
+	issues := checkSpec(spec)
+	if view, err := secview.Derive(spec); err == nil {
+		issues = append(issues, CheckView(view)...)
+	}
+	sort.Slice(issues, func(a, b int) bool {
+		x, y := issues[a], issues[b]
+		if x.Parent != y.Parent {
+			return x.Parent < y.Parent
+		}
+		if x.Child != y.Child {
+			return x.Child < y.Child
+		}
+		return x.Code < y.Code
+	})
+	return issues
+}
+
+// checkSpec flags redundant, unreachable, and trivially-conditional
+// annotations.
+func checkSpec(spec *access.Spec) []Issue {
+	var issues []Issue
+	reach := spec.D.Reachable(spec.D.Root())
+	poss := access.PossibleAccessibility(spec)
+	for _, e := range spec.Edges() {
+		a, _ := spec.Ann(e.Parent, e.Child)
+		if !reach[e.Parent] {
+			issues = append(issues, Issue{
+				Code: UnreachableAnnotation, Parent: e.Parent, Child: e.Child,
+				Msg: fmt.Sprintf("element type %s is not reachable from the root", e.Parent),
+			})
+			continue
+		}
+		p := poss[e.Parent]
+		switch a.Kind {
+		case access.Allow:
+			if p.CanBeAccessible && !p.CanBeInaccessible {
+				issues = append(issues, Issue{
+					Code: RedundantAnnotation, Parent: e.Parent, Child: e.Child,
+					Msg: "Y matches the accessibility inherited from an always-accessible parent",
+				})
+			}
+		case access.Deny:
+			if p.CanBeInaccessible && !p.CanBeAccessible {
+				issues = append(issues, Issue{
+					Code: RedundantAnnotation, Parent: e.Parent, Child: e.Child,
+					Msg: "N matches the accessibility inherited from an always-inaccessible parent",
+				})
+			}
+		case access.Cond:
+			switch a.Cond.(type) {
+			case xpath.QTrue:
+				issues = append(issues, Issue{
+					Code: TrivialCondition, Parent: e.Parent, Child: e.Child,
+					Msg: "condition is constant true: use Y",
+				})
+			case xpath.QFalse:
+				issues = append(issues, Issue{
+					Code: TrivialCondition, Parent: e.Parent, Child: e.Child,
+					Msg: "condition is constant false: use N",
+				})
+			}
+		}
+	}
+	return issues
+}
+
+// CheckView flags view productions whose strict materialization semantics
+// can abort: required entries with conditional extraction, and
+// disjunctions whose alternatives are conditional (a document taking a
+// hidden-and-empty branch leaves the disjunction unmatched).
+func CheckView(view *secview.View) []Issue {
+	var issues []Issue
+	for _, a := range view.DTD.Types() {
+		c := view.DTD.MustProduction(a)
+		switch c.Kind {
+		case dtd.Seq:
+			for _, it := range c.Items {
+				if it.Starred {
+					continue // case 5 semantics never aborts
+				}
+				sigma, ok := view.Sigma(a, it.Name)
+				if ok && conditional(sigma) {
+					issues = append(issues, Issue{
+						Code: AbortRisk, Parent: a, Child: it.Name,
+						Msg: fmt.Sprintf("required entry extracted by conditional query %s; materialization aborts when the condition fails", xpath.String(sigma)),
+					})
+				}
+			}
+		case dtd.Choice:
+			for _, it := range c.Items {
+				sigma, ok := view.Sigma(a, it.Name)
+				if ok && conditional(sigma) {
+					issues = append(issues, Issue{
+						Code: AbortRisk, Parent: a, Child: it.Name,
+						Msg: fmt.Sprintf("disjunction alternative extracted by conditional query %s; a document on this branch aborts when the condition fails", xpath.String(sigma)),
+					})
+				}
+			}
+		}
+	}
+	return issues
+}
+
+// conditional reports whether a σ query carries qualifiers (its result
+// can be empty even when the underlying structure exists).
+func conditional(p xpath.Path) bool {
+	for _, sub := range xpath.Subqueries(p) {
+		if _, ok := sub.(xpath.Qualified); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/dtds"
+	"repro/internal/secview"
+)
+
+func find(issues []Issue, code Code, parent, child string) *Issue {
+	for i := range issues {
+		if issues[i].Code == code && issues[i].Parent == parent && issues[i].Child == child {
+			return &issues[i]
+		}
+	}
+	return nil
+}
+
+func TestCleanSpecsHaveNoSpecIssues(t *testing.T) {
+	for _, spec := range []*access.Spec{dtds.AdexSpec(), dtds.Fig7Spec()} {
+		for _, issue := range Check(spec) {
+			if issue.Code != AbortRisk {
+				t.Errorf("unexpected issue: %s", issue)
+			}
+		}
+	}
+}
+
+func TestRedundantAllow(t *testing.T) {
+	d := dtds.Hospital()
+	// dept is always accessible (no annotation above it), so Y on
+	// (dept, patientInfo) is redundant.
+	spec := access.MustParseAnnotations(d, "ann(dept, patientInfo) = Y\n")
+	issues := Check(spec)
+	if find(issues, RedundantAnnotation, "dept", "patientInfo") == nil {
+		t.Errorf("redundant Y not flagged: %v", issues)
+	}
+}
+
+func TestRedundantDeny(t *testing.T) {
+	d := dtds.Hospital()
+	spec := access.MustParseAnnotations(d, `
+ann(dept, clinicalTrial) = N
+ann(clinicalTrial, patientInfo) = N
+`)
+	issues := Check(spec)
+	if find(issues, RedundantAnnotation, "clinicalTrial", "patientInfo") == nil {
+		t.Errorf("redundant N not flagged: %v", issues)
+	}
+	// The top-level N is a real override, not redundant.
+	if find(issues, RedundantAnnotation, "dept", "clinicalTrial") != nil {
+		t.Errorf("effective N flagged as redundant")
+	}
+}
+
+func TestOverrideNotRedundant(t *testing.T) {
+	// Y under a denied parent is the override pattern of Example 3.1 and
+	// must not be flagged.
+	d := dtds.Hospital()
+	spec := access.MustParseAnnotations(d, `
+ann(dept, clinicalTrial) = N
+ann(clinicalTrial, patientInfo) = Y
+`)
+	issues := Check(spec)
+	if find(issues, RedundantAnnotation, "clinicalTrial", "patientInfo") != nil {
+		t.Errorf("override flagged as redundant: %v", issues)
+	}
+}
+
+func TestMixedContextNotRedundant(t *testing.T) {
+	// patientInfo occurs both accessible (under dept) and inaccessible
+	// (under a denied clinicalTrial); an explicit Y on (patientInfo,
+	// patient) is meaningful and must not be flagged.
+	d := dtds.Hospital()
+	spec := access.MustParseAnnotations(d, `
+ann(dept, clinicalTrial) = N
+ann(patientInfo, patient) = Y
+`)
+	issues := Check(spec)
+	if find(issues, RedundantAnnotation, "patientInfo", "patient") != nil {
+		t.Errorf("mixed-context annotation flagged: %v", issues)
+	}
+}
+
+func TestUnreachableAnnotation(t *testing.T) {
+	d := dtd.MustParse(`
+root r
+r -> a
+a -> #PCDATA
+orphan -> b
+b -> #PCDATA
+`)
+	spec := access.MustParseAnnotations(d, "ann(orphan, b) = N\n")
+	issues := Check(spec)
+	if find(issues, UnreachableAnnotation, "orphan", "b") == nil {
+		t.Errorf("unreachable annotation not flagged: %v", issues)
+	}
+}
+
+func TestTrivialCondition(t *testing.T) {
+	d := dtds.Hospital()
+	spec := access.MustParseAnnotations(d, "ann(dept, patientInfo) = [true()]\n")
+	issues := Check(spec)
+	if find(issues, TrivialCondition, "dept", "patientInfo") == nil {
+		t.Errorf("trivial condition not flagged: %v", issues)
+	}
+}
+
+func TestAbortRiskRequiredConditional(t *testing.T) {
+	d := dtd.MustParse(`
+root r
+r -> a, b
+a -> flag
+flag -> #PCDATA
+b -> #PCDATA
+`)
+	spec := access.MustParseAnnotations(d, `ann(r, a) = [flag = "on"]`)
+	issues := Check(spec)
+	issue := find(issues, AbortRisk, "r", "a")
+	if issue == nil {
+		t.Fatalf("abort risk not flagged: %v", issues)
+	}
+	if !strings.Contains(issue.Msg, "aborts") {
+		t.Errorf("message = %q", issue.Msg)
+	}
+}
+
+func TestAbortRiskConditionalChoice(t *testing.T) {
+	d := dtd.MustParse(`
+root r
+r -> t
+t -> x + y
+x -> #PCDATA
+y -> #PCDATA
+`)
+	spec := access.MustParseAnnotations(d, `ann(t, x) = [. = "go"]`)
+	view, err := secview.Derive(spec)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	issues := CheckView(view)
+	if find(issues, AbortRisk, "t", "x") == nil {
+		t.Errorf("conditional disjunction branch not flagged: %v", issues)
+	}
+}
+
+func TestNurseSpecAbortProfile(t *testing.T) {
+	// The nurse policy's only conditional is on the starred dept entry —
+	// star semantics never abort, so the derived view is abort-free.
+	bound, err := dtds.NurseSpec().Bind(map[string]string{"wardNo": "6"})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	for _, issue := range Check(bound) {
+		t.Errorf("unexpected issue on nurse policy: %s", issue)
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	i := Issue{Code: AbortRisk, Parent: "r", Child: "a", Msg: "m"}
+	if got := i.String(); got != "abort-risk (r, a): m" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,167 @@
+// Package naive implements the baseline access-control enforcement of
+// the paper's Section 6: instead of using the DTD to rewrite queries, the
+// whole document is annotated with element-level accessibility attributes
+// (in the style of [Cho et al.]), and a view query is adapted with two
+// rules: every child axis becomes a descendant axis (an edge of the view
+// DTD may correspond to a longer path in the document), and the qualifier
+// [@accessibility="1"] is appended to the final step so only authorized
+// elements are returned.
+//
+// The baseline is only sound for views whose element names are unique and
+// that hide data purely by pruning (no dummy relabeling) — exactly the
+// Adex setting the paper benchmarks. Its cost profile is the point: the
+// descendant axes force full-document scans that the DTD-based rewriting
+// of package rewrite avoids.
+package naive
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// AttrName is the accessibility attribute added to every element.
+const AttrName = "accessibility"
+
+// Annotate stores each element's accessibility ("1" or "0") w.r.t. the
+// bound specification as an attribute, mutating the document in place.
+// This is the per-policy, whole-database annotation pass whose cost the
+// security-view approach avoids entirely.
+func Annotate(spec *access.Spec, doc *xmltree.Document) {
+	acc := access.Accessibility(spec, doc)
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Kind == xmltree.ElementNode {
+			v := "0"
+			if acc[n] {
+				v = "1"
+			}
+			n.SetAttr(AttrName, v)
+		}
+		return true
+	})
+}
+
+// RewriteQuery applies the two naive rewrite rules to a view query:
+// child steps become descendant steps (inside qualifiers too), and the
+// result is filtered by [@accessibility="1"].
+func RewriteQuery(p xpath.Path) (xpath.Path, error) {
+	widened, err := widen(p)
+	if err != nil {
+		return nil, err
+	}
+	if xpath.IsEmpty(widened) {
+		return widened, nil
+	}
+	return xpath.Qualified{Sub: widened, Cond: xpath.QAttrEq{Name: AttrName, Value: "1"}}, nil
+}
+
+// widen replaces each child-axis step with a descendant step.
+func widen(p xpath.Path) (xpath.Path, error) {
+	switch p := p.(type) {
+	case xpath.Empty, xpath.Self:
+		return p, nil
+	case xpath.Label, xpath.Wildcard:
+		return xpath.Descend{Sub: p}, nil
+	case xpath.Seq:
+		l, err := widen(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := widen(p.Right)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.MakeSeq(l, r), nil
+	case xpath.Descend:
+		sub, err := widen(p.Sub)
+		if err != nil {
+			return nil, err
+		}
+		// //(//p) ≡ //p.
+		if d, ok := sub.(xpath.Descend); ok {
+			return d, nil
+		}
+		return xpath.Descend{Sub: sub}, nil
+	case xpath.Union:
+		l, err := widen(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := widen(p.Right)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.MakeUnion(l, r), nil
+	case xpath.Qualified:
+		sub, err := widen(p.Sub)
+		if err != nil {
+			return nil, err
+		}
+		q, err := widenQual(p.Cond)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.Qualified{Sub: sub, Cond: q}, nil
+	default:
+		return nil, fmt.Errorf("naive: unsupported path node %T", p)
+	}
+}
+
+func widenQual(q xpath.Qual) (xpath.Qual, error) {
+	switch q := q.(type) {
+	case xpath.QTrue, xpath.QFalse, xpath.QAttrEq, xpath.QAttrHas:
+		return q, nil
+	case xpath.QPath:
+		p, err := widen(q.Path)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QPath{Path: p}, nil
+	case xpath.QEq:
+		p, err := widen(q.Path)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QEq{Path: p, Value: q.Value, Var: q.Var}, nil
+	case xpath.QAnd:
+		l, err := widenQual(q.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := widenQual(q.Right)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QAnd{Left: l, Right: r}, nil
+	case xpath.QOr:
+		l, err := widenQual(q.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := widenQual(q.Right)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QOr{Left: l, Right: r}, nil
+	case xpath.QNot:
+		s, err := widenQual(q.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QNot{Sub: s}, nil
+	default:
+		return nil, fmt.Errorf("naive: unsupported qualifier node %T", q)
+	}
+}
+
+// Query runs a view query end to end with the naive approach over an
+// annotated document.
+func Query(p xpath.Path, doc *xmltree.Document) ([]*xmltree.Node, error) {
+	pn, err := RewriteQuery(p)
+	if err != nil {
+		return nil, err
+	}
+	return xpath.EvalDoc(pn, doc), nil
+}

@@ -1,0 +1,269 @@
+package optimize
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// Optimizer rewrites XPath queries into equivalent, cheaper queries over
+// instances of one document DTD (Algorithm optimize, Fig. 10). It is
+// stateful only as a cache: reach sets, recProc tables for '//', and the
+// DP memo are shared across queries under a mutex, so an Optimizer is
+// safe for concurrent use.
+type Optimizer struct {
+	mu sync.Mutex
+	d  *dtd.DTD
+
+	memo     map[memoKey]result
+	recReach map[string][]string
+	recPaths map[string]map[string]xpath.Path
+	reaching map[string]map[string]bool
+}
+
+// New returns an optimizer for the DTD. Recursive DTDs are supported: the
+// '//' expansion simply keeps the descendant step instead of enumerating
+// paths when the sub-DAG below a node is cyclic.
+func New(d *dtd.DTD) *Optimizer {
+	return &Optimizer{
+		d:        d,
+		memo:     make(map[memoKey]result),
+		recReach: make(map[string][]string),
+		recPaths: make(map[string]map[string]xpath.Path),
+		reaching: make(map[string]map[string]bool),
+	}
+}
+
+type memoKey struct {
+	p xpath.Path
+	a string
+}
+
+// result is one DP cell: the optimized translation per reach target (see
+// package rewrite for why per-target composition is the sound variant of
+// the paper's union form).
+type result struct {
+	byTarget map[string]xpath.Path
+	reach    []string
+}
+
+func newResult() result { return result{byTarget: make(map[string]xpath.Path)} }
+
+func (r *result) add(target string, p xpath.Path) {
+	if xpath.IsEmpty(p) {
+		return
+	}
+	if prev, ok := r.byTarget[target]; ok {
+		r.byTarget[target] = xpath.MakeUnion(prev, p)
+		return
+	}
+	r.byTarget[target] = p
+	r.reach = append(r.reach, target)
+}
+
+func (r result) total() xpath.Path {
+	out := xpath.Path(xpath.Empty{})
+	for _, v := range r.reach {
+		out = xpath.MakeUnion(out, r.byTarget[v])
+	}
+	return out
+}
+
+// Optimize rewrites p (evaluated at root elements of the DTD) into an
+// equivalent query. Queries proved empty by DTD constraints return ∅.
+func (o *Optimizer) Optimize(p xpath.Path) xpath.Path {
+	return o.OptimizeAt(p, o.d.Root())
+}
+
+// OptimizeAt rewrites p as evaluated at elements of type a.
+func (o *Optimizer) OptimizeAt(p xpath.Path, a string) xpath.Path {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.optimizeAtLocked(p, a)
+}
+
+func (o *Optimizer) optimizeAtLocked(p xpath.Path, a string) xpath.Path {
+	return xpath.Simplify(o.opt(p, a).total())
+}
+
+// OptimizeString parses, optimizes at the root, and prints.
+func (o *Optimizer) OptimizeString(query string) (string, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return xpath.String(o.Optimize(p)), nil
+}
+
+// targets returns reach(p, a): the DTD types reachable from a via p.
+func (o *Optimizer) targets(p xpath.Path, a string) []string {
+	return o.opt(p, a).reach
+}
+
+// Reach returns reach(p, root): the element types a root-context query
+// can select over instances of the DTD (sorted; the pseudo type "#text"
+// marks text results). Static analyses build on this.
+func (o *Optimizer) Reach(p xpath.Path) []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.targets(p, o.d.Root())...)
+}
+
+func (o *Optimizer) opt(p xpath.Path, a string) result {
+	key := memoKey{p: p, a: a}
+	if res, ok := o.memo[key]; ok {
+		return res
+	}
+	res := o.compute(p, a)
+	sort.Strings(res.reach)
+	o.memo[key] = res
+	return res
+}
+
+func (o *Optimizer) compute(p xpath.Path, a string) result {
+	res := newResult()
+	switch p := p.(type) {
+	case xpath.Empty:
+		return res
+	case xpath.Self: // case (1)
+		res.add(a, xpath.Self{})
+		return res
+	case xpath.Label: // case (2)
+		if p.Name == xpath.TextName {
+			if c, ok := o.d.Production(a); ok && c.Kind == dtd.Text {
+				res.add(textNode, p)
+			}
+			return res
+		}
+		if o.d.HasChild(a, p.Name) {
+			res.add(p.Name, p)
+		}
+		return res
+	case xpath.Wildcard: // case (3): expand to the concrete child labels
+		for _, b := range o.d.Children(a) {
+			res.add(b, xpath.L(b))
+		}
+		return res
+	case xpath.Seq: // case (4), per target
+		r1 := o.opt(p.Left, a)
+		for _, v := range r1.reach {
+			r2 := o.opt(p.Right, v)
+			for _, w := range r2.reach {
+				res.add(w, xpath.MakeSeq(r1.byTarget[v], r2.byTarget[w]))
+			}
+		}
+		return res
+	case xpath.Descend: // case (5): expand '//' through recProc
+		for _, b := range o.reachDescend(a) {
+			sub := o.opt(p.Sub, b)
+			for _, w := range sub.reach {
+				res.add(w, xpath.MakeSeq(o.recrw(a, b), sub.byTarget[w]))
+			}
+		}
+		return res
+	case xpath.Union: // case (6): drop a branch contained in the other
+		g1, ok1 := o.image(p.Left, a)
+		g2, ok2 := o.image(p.Right, a)
+		if ok1 && ok2 {
+			if o.simulate(g1, g2) {
+				return o.opt(p.Right, a)
+			}
+			if o.simulate(g2, g1) {
+				return o.opt(p.Left, a)
+			}
+		}
+		for _, sub := range []xpath.Path{p.Left, p.Right} {
+			rs := o.opt(sub, a)
+			for _, w := range rs.reach {
+				res.add(w, rs.byTarget[w])
+			}
+		}
+		return res
+	case xpath.Qualified:
+		if _, ok := p.Sub.(xpath.Self); ok { // case (7)
+			tv, q := o.optQual(p.Cond, a)
+			switch tv {
+			case tvTrue:
+				res.add(a, xpath.Self{})
+			case tvFalse:
+				// ∅
+			default:
+				res.add(a, xpath.Qualified{Sub: xpath.Self{}, Cond: q})
+			}
+			return res
+		}
+		return o.opt(xpath.Seq{Left: p.Sub, Right: xpath.Qualified{Sub: xpath.Self{}, Cond: p.Cond}}, a)
+	default:
+		return res
+	}
+}
+
+// optQual is the paper's evaluate([q], A): it decides the qualifier where
+// DTD constraints fix its truth and otherwise returns an equivalent,
+// simplified qualifier.
+func (o *Optimizer) optQual(q xpath.Qual, a string) (triBool, xpath.Qual) {
+	switch q := q.(type) {
+	case xpath.QTrue:
+		return tvTrue, q
+	case xpath.QFalse:
+		return tvFalse, q
+	case xpath.QPath:
+		if o.impossible(q.Path, a) {
+			return tvFalse, xpath.QFalse{}
+		}
+		if o.guaranteed(q.Path, a) {
+			return tvTrue, xpath.QTrue{}
+		}
+		return tvUnknown, xpath.QPath{Path: o.optimizeAtLocked(q.Path, a)}
+	case xpath.QEq:
+		if o.impossible(q.Path, a) {
+			return tvFalse, xpath.QFalse{}
+		}
+		return tvUnknown, xpath.QEq{Path: o.optimizeAtLocked(q.Path, a), Value: q.Value, Var: q.Var}
+	case xpath.QAnd:
+		t1, q1 := o.optQual(q.Left, a)
+		t2, q2 := o.optQual(q.Right, a)
+		if t1 == tvFalse || t2 == tvFalse {
+			return tvFalse, xpath.QFalse{}
+		}
+		if t1 == tvTrue {
+			return t2, q2
+		}
+		if t2 == tvTrue {
+			return t1, q1
+		}
+		if o.exclusive(a, q1, q2) {
+			return tvFalse, xpath.QFalse{}
+		}
+		if o.qualImplies(q1, q2, a) {
+			return tvUnknown, q1
+		}
+		if o.qualImplies(q2, q1, a) {
+			return tvUnknown, q2
+		}
+		return tvUnknown, xpath.QAnd{Left: q1, Right: q2}
+	case xpath.QOr:
+		t1, q1 := o.optQual(q.Left, a)
+		t2, q2 := o.optQual(q.Right, a)
+		if t1 == tvTrue || t2 == tvTrue {
+			return tvTrue, xpath.QTrue{}
+		}
+		if t1 == tvFalse {
+			return t2, q2
+		}
+		if t2 == tvFalse {
+			return t1, q1
+		}
+		return tvUnknown, xpath.QOr{Left: q1, Right: q2}
+	case xpath.QNot:
+		t, sub := o.optQual(q.Sub, a)
+		if t != tvUnknown {
+			return t.not(), xpath.MakeNot(sub)
+		}
+		return tvUnknown, xpath.MakeNot(sub)
+	default:
+		return tvUnknown, q
+	}
+}

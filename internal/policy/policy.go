@@ -1,0 +1,158 @@
+// Package policy manages the set of access-control policies declared
+// over one document DTD — the administrator side of the paper's Fig. 3.
+// Each user class has an access specification (possibly with $parameters
+// such as the nurse policy's $wardNo); the registry derives and caches
+// one enforcement engine per (class, parameter binding), so a ward-6
+// nurse and a ward-7 nurse share the class definition but get different
+// security views.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// Registry holds the user classes defined over one document DTD.
+type Registry struct {
+	d       *dtd.DTD
+	classes map[string]*Class
+	order   []string
+}
+
+// Class is one user class: a named, possibly parameterized access
+// specification plus the cache of derived engines (guarded by mu; a
+// Class is safe for concurrent use).
+type Class struct {
+	Name string
+	Spec *access.Spec
+
+	mu      sync.Mutex
+	engines map[string]*core.Engine
+}
+
+// NewRegistry returns an empty registry over the document DTD.
+func NewRegistry(d *dtd.DTD) *Registry {
+	return &Registry{d: d, classes: make(map[string]*Class)}
+}
+
+// DTD returns the document DTD the registry's policies annotate.
+func (r *Registry) DTD() *dtd.DTD { return r.d }
+
+// Define parses an annotation source and registers it as a user class.
+func (r *Registry) Define(name, annotations string) (*Class, error) {
+	spec, err := access.ParseAnnotations(r.d, annotations)
+	if err != nil {
+		return nil, fmt.Errorf("policy: class %s: %v", name, err)
+	}
+	return r.DefineSpec(name, spec)
+}
+
+// DefineSpec registers a pre-built specification as a user class. The
+// specification must be over the registry's DTD.
+func (r *Registry) DefineSpec(name string, spec *access.Spec) (*Class, error) {
+	if name == "" {
+		return nil, fmt.Errorf("policy: empty class name")
+	}
+	if _, dup := r.classes[name]; dup {
+		return nil, fmt.Errorf("policy: class %q already defined", name)
+	}
+	if spec.D != r.d {
+		return nil, fmt.Errorf("policy: class %q: specification is over a different DTD", name)
+	}
+	c := &Class{Name: name, Spec: spec, engines: make(map[string]*core.Engine)}
+	r.classes[name] = c
+	r.order = append(r.order, name)
+	return c, nil
+}
+
+// Class looks a user class up by name.
+func (r *Registry) Class(name string) (*Class, bool) {
+	c, ok := r.classes[name]
+	return c, ok
+}
+
+// Names returns the class names in definition order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Params returns the class's specification parameters, sorted.
+func (c *Class) Params() []string { return c.Spec.Vars() }
+
+// Engine returns the enforcement engine for one parameter binding,
+// deriving the security view on first use and caching it. Classes
+// without parameters accept a nil binding.
+func (c *Class) Engine(params map[string]string) (*core.Engine, error) {
+	key := bindingKey(params)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.engines[key]; ok {
+		return e, nil
+	}
+	spec := c.Spec
+	if len(c.Params()) > 0 || len(params) > 0 {
+		bound, err := c.Spec.Bind(params)
+		if err != nil {
+			return nil, fmt.Errorf("policy: class %s: %v", c.Name, err)
+		}
+		spec = bound
+	}
+	e, err := core.New(spec)
+	if err != nil {
+		return nil, fmt.Errorf("policy: class %s: %v", c.Name, err)
+	}
+	c.engines[key] = e
+	return e, nil
+}
+
+// Query answers a view query for one user: class, parameter binding,
+// document, query text.
+func (r *Registry) Query(class string, params map[string]string, doc *xmltree.Document, query string) ([]*xmltree.Node, error) {
+	c, ok := r.classes[class]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown class %q", class)
+	}
+	e, err := c.Engine(params)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryString(doc, query)
+}
+
+// ViewDTD returns the schema published to one user class under a
+// parameter binding.
+func (r *Registry) ViewDTD(class string, params map[string]string) (*dtd.DTD, error) {
+	c, ok := r.classes[class]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown class %q", class)
+	}
+	e, err := c.Engine(params)
+	if err != nil {
+		return nil, err
+	}
+	return e.ViewDTD(), nil
+}
+
+// bindingKey canonicalizes a parameter binding for the engine cache.
+func bindingKey(params map[string]string) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, params[k])
+	}
+	return b.String()
+}

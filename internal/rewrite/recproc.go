@@ -1,0 +1,119 @@
+package rewrite
+
+import (
+	"sort"
+
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// reachDescend returns reach(//, A): the effective view types reachable
+// from A via descendant-or-self, A itself included (so //p at A also
+// covers p at A). Results are cached per source node; with the recrw
+// table this is the paper's procedure recProc (Fig. 6).
+func (r *Rewriter) reachDescend(a string) []string {
+	if reach, ok := r.recReach[a]; ok {
+		return reach
+	}
+	r.runRecProc(a)
+	return r.recReach[a]
+}
+
+// recrw returns recrw(A, B): a query over the document capturing all
+// label paths from A to B in the effective view DTD, with σ spliced in.
+// recrw(A, A) is ε.
+func (r *Rewriter) recrw(a, b string) xpath.Path {
+	if _, ok := r.recPaths[a]; !ok {
+		r.runRecProc(a)
+	}
+	if p, ok := r.recPaths[a][b]; ok {
+		return p
+	}
+	return xpath.Empty{}
+}
+
+// runRecProc computes reach(//, a) and recrw(a, ·) for one source node.
+//
+// The paper's recProc uses symbolic variables Z_x so that each
+// intermediate path segment is included exactly once, then substitutes in
+// topological order; the equivalent here is to compute
+//
+//	recrw(a, y) = ⋃ over DAG edges (x, y) of recrw(a, x)/σ(x, y)
+//
+// in topological order while sharing the already-built recrw(a, x)
+// sub-expressions (Go interface values alias the same underlying nodes),
+// which keeps the construction linear in |D_v| per target.
+func (r *Rewriter) runRecProc(a string) {
+	// Collect the sub-DAG reachable from a.
+	reachable := map[string]bool{a: true}
+	var stack []string
+	stack = append(stack, a)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range r.children(x) {
+			if !reachable[y] {
+				reachable[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+
+	// Topological order of the sub-DAG (the effective view DTD is a DAG by
+	// construction: either non-recursive or unfolded).
+	state := make(map[string]int)
+	var order []string
+	var visit func(string)
+	visit = func(x string) {
+		if state[x] != 0 {
+			return
+		}
+		state[x] = 1
+		for _, y := range r.children(x) {
+			visit(y)
+		}
+		state[x] = 2
+		order = append(order, x)
+	}
+	visit(a)
+	// Reverse post-order = parents before children.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+
+	paths := map[string]xpath.Path{a: xpath.Self{}}
+	for _, x := range order {
+		px, ok := paths[x]
+		if !ok {
+			continue
+		}
+		for _, y := range r.children(x) {
+			step := xpath.MakeSeq(px, r.sigmaOf(x, y))
+			if prev, seen := paths[y]; seen {
+				paths[y] = xpath.MakeUnion(prev, step)
+			} else {
+				paths[y] = step
+			}
+		}
+	}
+
+	// Text nodes are in the descendant-or-self set too: give them a single
+	// pseudo target so queries like //. and //text() cover them.
+	var textPaths xpath.Path = xpath.Empty{}
+	for b, pb := range paths {
+		if sig, ok := r.sigma[[2]string{b, dtd.TextLabel}]; ok {
+			textPaths = xpath.MakeUnion(textPaths, xpath.MakeSeq(pb, sig))
+		}
+	}
+	if !xpath.IsEmpty(textPaths) {
+		paths[textType] = textPaths
+	}
+
+	reach := make([]string, 0, len(paths))
+	for b := range paths {
+		reach = append(reach, b)
+	}
+	sort.Strings(reach)
+	r.recReach[a] = reach
+	r.recPaths[a] = paths
+}

@@ -1,0 +1,71 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/secview"
+	"repro/internal/xpath"
+)
+
+// unfold expands a recursive view DTD into a DAG by creating one copy of
+// each type per depth level, 0 (root) through height (Section 4.2).
+// Copies are named "A@level" (the root keeps its name at level 0); each
+// level-i production references the level-(i+1) copies, and the deepest
+// level applies the non-recursive rule — its element copies have no
+// element children, which is exactly what holds for nodes at the maximal
+// depth of a document of that height. σ edges carry over unchanged, since
+// they are queries over the document, not the view.
+func unfold(v *secview.View, height int) (*dtd.DTD, map[string]string, map[[2]string]xpath.Path) {
+	src := v.DTD
+	root := src.Root()
+	out := dtd.New(root)
+	orig := map[string]string{root: root}
+	sigma := make(map[[2]string]xpath.Path)
+
+	name := func(typ string, level int) string {
+		if level == 0 && typ == root {
+			return root
+		}
+		return fmt.Sprintf("%s@%d", typ, level)
+	}
+
+	// declare walks (type, level) pairs reachable from the root.
+	var declare func(typ string, level int)
+	declare = func(typ string, level int) {
+		n := name(typ, level)
+		if out.Has(n) {
+			return
+		}
+		orig[n] = typ
+		c := src.MustProduction(typ)
+		switch {
+		case c.Kind == dtd.Empty:
+			out.SetProduction(n, dtd.EmptyContent())
+		case c.Kind == dtd.Text:
+			out.SetProduction(n, dtd.TextContent())
+			if p, ok := v.Sigma(typ, dtd.TextLabel); ok {
+				sigma[[2]string{n, dtd.TextLabel}] = p
+			}
+		case level >= height:
+			// Non-recursive rule at the unfolding frontier: a node at the
+			// maximal depth has no element children.
+			out.SetProduction(n, dtd.EmptyContent())
+		default:
+			items := make([]dtd.Item, len(c.Items))
+			for i, it := range c.Items {
+				child := name(it.Name, level+1)
+				items[i] = dtd.Item{Name: child, Starred: it.Starred}
+				if p, ok := v.Sigma(typ, it.Name); ok {
+					sigma[[2]string{n, child}] = p
+				}
+			}
+			out.SetProduction(n, dtd.Content{Kind: c.Kind, Items: items})
+			for _, it := range c.Items {
+				declare(it.Name, level+1)
+			}
+		}
+	}
+	declare(root, 0)
+	return out, orig, sigma
+}

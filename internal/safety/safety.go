@@ -1,0 +1,148 @@
+// Package safety implements the enforcement style of the related work
+// the paper compares against (Murata et al. [22], and the reject-based
+// standards XACML/XACL [25, 16]): users query the *document* under the
+// full document DTD, and enforcement decides per query whether it is
+//
+//   - safe      — it can only return accessible nodes, so it runs as-is;
+//   - unsafe    — it may return inaccessible nodes, requiring either a
+//     run-time accessibility filter over the results ([22]) or outright
+//     rejection ([25, 16]).
+//
+// The static classification is the approximate safety check of [22]
+// rebuilt on this repository's substrates: the query's reach set over
+// the DTD graph is intersected with the static accessibility
+// possibilities of the specification. It is sound in both directions it
+// needs to be: "safe" is only reported when every reachable type is
+// always-accessible, so a safe query never needs filtering.
+//
+// The package exists for comparison — it demonstrates the limitations
+// the paper's security views remove: the full document DTD is exposed
+// (no schema hiding, so the Example 1.1 inference attack works against
+// filter-based enforcement), reject-mode refuses reasonable queries, and
+// filter-mode pays a per-document accessibility computation at query
+// time.
+package safety
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/optimize"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Verdict classifies a query against a specification.
+type Verdict int
+
+const (
+	// Safe queries return only accessible nodes on every instance.
+	Safe Verdict = iota
+	// Unsafe queries may return inaccessible nodes.
+	Unsafe
+)
+
+func (v Verdict) String() string {
+	if v == Safe {
+		return "safe"
+	}
+	return "unsafe"
+}
+
+// Mode selects what happens to unsafe queries.
+type Mode int
+
+const (
+	// Filter evaluates the query and drops inaccessible results ([22]).
+	Filter Mode = iota
+	// Reject refuses the query entirely ([25, 16]).
+	Reject
+)
+
+// Analyzer performs the static safety check for one specification.
+type Analyzer struct {
+	spec  *access.Spec
+	opt   *optimize.Optimizer
+	poss  map[string]access.AccSet
+	reach map[string]bool
+}
+
+// New builds an analyzer for a bound specification.
+func New(spec *access.Spec) (*Analyzer, error) {
+	if vars := spec.Vars(); len(vars) > 0 {
+		return nil, fmt.Errorf("safety: specification has unbound parameters %v", vars)
+	}
+	return &Analyzer{
+		spec:  spec,
+		opt:   optimize.New(spec.D),
+		poss:  access.PossibleAccessibility(spec),
+		reach: spec.D.Reachable(spec.D.Root()),
+	}, nil
+}
+
+// Classify statically decides whether a document query is safe: every
+// element type it can reach must be always-accessible. Text results
+// (pseudo reach type "#text") are safe only when every text-producing
+// type is always-accessible and no text annotation denies content —
+// coarse, but sound, and text-returning queries are a corner of the
+// baseline anyway.
+func (a *Analyzer) Classify(p xpath.Path) Verdict {
+	for _, t := range a.opt.Reach(p) {
+		if t == textReach {
+			if !a.textAlwaysSafe() {
+				return Unsafe
+			}
+			continue
+		}
+		ps := a.poss[t]
+		if ps.CanBeInaccessible || !ps.CanBeAccessible {
+			return Unsafe
+		}
+	}
+	return Safe
+}
+
+const textReach = "#text"
+
+func (a *Analyzer) textAlwaysSafe() bool {
+	for _, t := range a.spec.D.Types() {
+		if !a.reach[t] {
+			continue
+		}
+		if c := a.spec.D.MustProduction(t); c.Kind != dtd.Text {
+			continue
+		}
+		ps := a.poss[t]
+		if ps.CanBeInaccessible || !ps.CanBeAccessible {
+			return false
+		}
+		if ann, ok := a.spec.Ann(t, dtd.TextLabel); ok && ann.Kind == access.Deny {
+			return false
+		}
+	}
+	return true
+}
+
+// Enforce answers a document query under the chosen mode. Safe queries
+// run directly. Unsafe queries are rejected (Reject) or evaluated and
+// post-filtered by the paper's Section 3.2 accessibility (Filter) — the
+// run-time cost the security-view approach avoids.
+func (a *Analyzer) Enforce(p xpath.Path, doc *xmltree.Document, mode Mode) ([]*xmltree.Node, error) {
+	verdict := a.Classify(p)
+	res := xpath.EvalDoc(p, doc)
+	if verdict == Safe {
+		return res, nil
+	}
+	if mode == Reject {
+		return nil, fmt.Errorf("safety: query %s is unsafe and was rejected", xpath.String(p))
+	}
+	acc := access.Accessibility(a.spec, doc)
+	var out []*xmltree.Node
+	for _, n := range res {
+		if acc[n] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}

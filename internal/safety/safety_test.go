@@ -1,0 +1,184 @@
+package safety
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/dtds"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func adexAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	a, err := New(dtds.AdexSpec())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+func TestClassify(t *testing.T) {
+	a := adexAnalyzer(t)
+	cases := []struct {
+		query string
+		want  Verdict
+	}{
+		// buyer-info and real-estate subtrees are always accessible...
+		{"//buyer-info/contact-info", Safe},
+		{"//house/r-e.asking-price", Safe},
+		// ...except the denied billing-info subtree.
+		{"//billing-info", Unsafe},
+		{"//buyer-info/*", Unsafe}, // wildcard covers billing-info
+		// head/body plumbing is inaccessible.
+		{"head", Unsafe},
+		{"//ad-instance", Unsafe},
+		{"//employment", Unsafe},
+		// Unions are safe only when both branches are.
+		{"//house | //apartment", Safe},
+		{"//house | //employment", Unsafe},
+		// Unreachable labels select nothing: trivially safe.
+		{"//nosuch", Safe},
+	}
+	for _, tc := range cases {
+		if got := a.Classify(xpath.MustParse(tc.query)); got != tc.want {
+			t.Errorf("Classify(%q) = %s, want %s", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyConditional(t *testing.T) {
+	spec, err := dtds.NurseSpec().Bind(map[string]string{"wardNo": "6"})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	a, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Everything below the conditional dept edge may be inaccessible.
+	for _, q := range []string{"//patient", "dept", "//bill"} {
+		if got := a.Classify(xpath.MustParse(q)); got != Unsafe {
+			t.Errorf("Classify(%q) = %s, want unsafe", q, got)
+		}
+	}
+	// The root itself is safe.
+	if got := a.Classify(xpath.MustParse(".")); got != Safe {
+		t.Errorf("Classify(.) = %s", got)
+	}
+}
+
+func TestClassifyDeniedText(t *testing.T) {
+	spec := access.MustParseAnnotations(dtds.Hospital(), "ann(wardNo, str) = N\n")
+	a, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := a.Classify(xpath.MustParse("//wardNo/text()")); got != Unsafe {
+		t.Errorf("denied text classified %s", got)
+	}
+	if got := a.Classify(xpath.MustParse("//wardNo")); got != Safe {
+		t.Errorf("element above denied text classified %s", got)
+	}
+}
+
+func TestEnforceModes(t *testing.T) {
+	a := adexAnalyzer(t)
+	doc := dtds.GenerateAdex(31, 4)
+
+	// Safe query: runs as-is.
+	safeQ := xpath.MustParse("//buyer-info/contact-info")
+	res, err := a.Enforce(safeQ, doc, Reject)
+	if err != nil {
+		t.Fatalf("Enforce(safe, Reject): %v", err)
+	}
+	if len(res) == 0 {
+		t.Errorf("safe query returned nothing")
+	}
+
+	// Unsafe query, reject mode: refused even though parts are harmless —
+	// the brittleness the paper criticizes.
+	unsafeQ := xpath.MustParse("//buyer-info/*")
+	if _, err := a.Enforce(unsafeQ, doc, Reject); err == nil {
+		t.Errorf("unsafe query not rejected")
+	}
+
+	// Unsafe query, filter mode: results match the ground truth.
+	res, err = a.Enforce(unsafeQ, doc, Filter)
+	if err != nil {
+		t.Fatalf("Enforce(unsafe, Filter): %v", err)
+	}
+	acc := access.Accessibility(dtds.AdexSpec(), doc)
+	for _, n := range res {
+		if !acc[n] {
+			t.Errorf("filtered result contains inaccessible node %s", n.Path())
+		}
+		if n.Label == "billing-info" {
+			t.Errorf("billing-info leaked through the filter")
+		}
+	}
+	// company-id and contact-info children survive.
+	labels := map[string]bool{}
+	for _, n := range res {
+		labels[n.Label] = true
+	}
+	if !labels["company-id"] || !labels["contact-info"] {
+		t.Errorf("filter dropped accessible results: %v", labels)
+	}
+}
+
+// TestInferenceAttackWorksAgainstFiltering demonstrates why the paper's
+// views are stronger: under filter-based enforcement with the full DTD
+// exposed, the Example 1.1 attack distinguishes trial patients.
+func TestInferenceAttackWorksAgainstFiltering(t *testing.T) {
+	spec := access.MustParseAnnotations(dtds.Hospital(), `
+ann(dept, clinicalTrial) = N
+ann(clinicalTrial, patientInfo) = Y
+`)
+	a, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	e, tx := xmltree.E, xmltree.T
+	doc := xmltree.NewDocument(e("hospital",
+		e("dept",
+			e("clinicalTrial",
+				e("patientInfo",
+					e("patient", tx("name", "Carol"), tx("wardNo", "6"),
+						e("treatment", e("trial", tx("bill", "900")))))),
+			e("patientInfo",
+				e("patient", tx("name", "Alice"), tx("wardNo", "6"),
+					e("treatment", e("regular", tx("bill", "100"), tx("medication", "m"))))),
+			e("staffInfo"),
+		),
+	))
+	run := func(q string) []string {
+		res, err := a.Enforce(xpath.MustParse(q), doc, Filter)
+		if err != nil {
+			t.Fatalf("Enforce(%q): %v", q, err)
+		}
+		var out []string
+		for _, n := range res {
+			out = append(out, n.Text())
+		}
+		return out
+	}
+	p1 := run("//dept//patientInfo/patient/name")
+	p2 := run("//dept/patientInfo/patient/name")
+	// The filter lets both queries through (the names themselves are
+	// accessible), and their difference reveals Carol's trial membership —
+	// exactly what the security-view rewriting prevents.
+	if reflect.DeepEqual(p1, p2) {
+		t.Fatalf("expected the attack to succeed under filtering: p1=%v p2=%v", p1, p2)
+	}
+	if len(p1) != 2 || len(p2) != 1 {
+		t.Errorf("attack shape unexpected: p1=%v p2=%v", p1, p2)
+	}
+}
+
+func TestNewRejectsUnbound(t *testing.T) {
+	if _, err := New(dtds.NurseSpec()); err == nil {
+		t.Errorf("unbound spec accepted")
+	}
+}

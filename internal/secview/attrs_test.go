@@ -1,0 +1,121 @@
+package secview
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// attrFixture: patients carry id (required), ssn and insurer attributes;
+// the policy denies ssn and hides the regular treatment element entirely.
+func attrFixture(t *testing.T) (*View, *xmltree.Document) {
+	t.Helper()
+	d := dtd.MustParse(`
+root clinic
+clinic -> patient*
+patient -> name, record
+name -> #PCDATA
+record -> #PCDATA
+attlist patient id!, ssn, insurer
+attlist record code
+`)
+	s := access.MustParseAnnotations(d, `
+ann(patient, @ssn) = N
+`)
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	a := xmltree.A
+	doc := xmltree.NewDocument(xmltree.E("clinic",
+		a(xmltree.E("patient", xmltree.T("name", "Alice"), a(xmltree.T("record", "flu"), "code", "J11")),
+			"id", "p1", "ssn", "123-45-6789", "insurer", "Acme"),
+		a(xmltree.E("patient", xmltree.T("name", "Bob"), xmltree.T("record", "ok")),
+			"id", "p2"),
+	))
+	if err := xmltree.Validate(doc, d); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return v, doc
+}
+
+func TestDeriveProjectsAttlists(t *testing.T) {
+	v, _ := attrFixture(t)
+	defs := v.DTD.Attlist("patient")
+	names := map[string]bool{}
+	for _, def := range defs {
+		names[def.Name] = true
+	}
+	if names["ssn"] {
+		t.Errorf("denied attribute in view attlist: %v", defs)
+	}
+	if !names["id"] || !names["insurer"] {
+		t.Errorf("visible attributes missing: %v", defs)
+	}
+	if def, ok := v.DTD.Attr("patient", "id"); !ok || !def.Required {
+		t.Errorf("required flag lost: %v, %v", def, ok)
+	}
+	if _, ok := v.DTD.Attr("record", "code"); !ok {
+		t.Errorf("unannotated attlist not carried over")
+	}
+}
+
+func TestMaterializeCopiesVisibleAttrs(t *testing.T) {
+	v, doc := attrFixture(t)
+	m, err := CheckSoundComplete(v, doc)
+	if err != nil {
+		t.Fatalf("CheckSoundComplete: %v", err)
+	}
+	patients := xpath.EvalDoc(xpath.MustParse("patient"), m.View)
+	if len(patients) != 2 {
+		t.Fatalf("view has %d patients", len(patients))
+	}
+	if id, _ := patients[0].Attr("id"); id != "p1" {
+		t.Errorf("id attribute = %q", id)
+	}
+	if _, ok := patients[0].Attr("ssn"); ok {
+		t.Errorf("ssn leaked into the view")
+	}
+	if ins, _ := patients[0].Attr("insurer"); ins != "Acme" {
+		t.Errorf("insurer = %q", ins)
+	}
+	records := xpath.EvalDoc(xpath.MustParse("patient/record"), m.View)
+	if code, _ := records[0].Attr("code"); code != "J11" {
+		t.Errorf("record code = %q", code)
+	}
+	// The materialized view conforms to the view DTD including attlists.
+	if err := xmltree.Validate(m.View, v.DTD); err != nil {
+		t.Errorf("view invalid: %v", err)
+	}
+}
+
+func TestCheckCatchesAttrLeak(t *testing.T) {
+	v, doc := attrFixture(t)
+	// Sabotage: re-expose ssn in the view attlist; the checker must flag
+	// the leak.
+	v.DTD.SetAttlist("patient", append(v.DTD.Attlist("patient"), dtd.AttrDef{Name: "ssn"}))
+	if _, err := CheckSoundComplete(v, doc); err == nil {
+		t.Errorf("attribute leak passed the checker")
+	}
+}
+
+func TestAttrAnnotationValidation(t *testing.T) {
+	d := dtd.MustParse(`
+root r
+r -> #PCDATA
+attlist r id
+`)
+	s := access.NewSpec(d)
+	if err := s.Annotate("r", "@nosuch", access.Ann{Kind: access.Deny}); err == nil {
+		t.Errorf("undeclared attribute annotation accepted")
+	}
+	if err := s.Annotate("r", "@id", access.Ann{Kind: access.Cond, Cond: xpath.QTrue{}}); err == nil {
+		t.Errorf("conditional attribute annotation accepted")
+	}
+	if err := s.Annotate("r", "@id", access.Ann{Kind: access.Deny}); err != nil {
+		t.Errorf("valid attribute annotation rejected: %v", err)
+	}
+}

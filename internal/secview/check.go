@@ -1,0 +1,95 @@
+package secview
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/xmltree"
+)
+
+// CheckSoundComplete verifies the defining property of security views
+// (Section 3.3) on a concrete instance: the materialized view T_v must
+// (a) conform to the view DTD D_v, (b) expose only document nodes that
+// are accessible w.r.t. S (soundness), and (c) expose every accessible
+// document node (completeness). Dummy view nodes are structural
+// placeholders: they hide a label and are exempt from (b), and the
+// inaccessible nodes they relabel are not counted in (c).
+//
+// It returns the materialization result for further inspection, or an
+// error describing the first violation.
+func CheckSoundComplete(v *View, doc *xmltree.Document) (*Materialized, error) {
+	m, err := Materialize(v, doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := xmltree.Validate(m.View, v.DTD); err != nil {
+		return m, fmt.Errorf("secview: view does not conform to the view DTD: %v", err)
+	}
+	acc := access.Accessibility(v.Spec, doc)
+
+	// Soundness: every exposed (non-dummy) view node maps to an accessible
+	// document node, and exposed attributes are exactly the accessible
+	// attributes of that node.
+	attrAcc := access.AttrAccessibility(v.Spec, doc)
+	exposed := make(map[*xmltree.Node]bool)
+	var unsound *xmltree.Node
+	var attrErr error
+	m.View.Root.Walk(func(n *xmltree.Node) bool {
+		if m.IsDummy[n] {
+			if len(n.Attrs) > 0 && attrErr == nil {
+				attrErr = fmt.Errorf("secview: dummy node %s carries attributes", n.Path())
+			}
+			return true
+		}
+		dn := m.DocOf[n]
+		if dn == nil || !acc[dn] {
+			if unsound == nil {
+				unsound = n
+			}
+			return true
+		}
+		exposed[dn] = true
+		if attrErr == nil {
+			attrErr = compareAttrs(n, dn, attrAcc[dn])
+		}
+		return true
+	})
+	if unsound != nil {
+		return m, fmt.Errorf("secview: unsound: view node %s exposes an inaccessible document node", unsound.Path())
+	}
+	if attrErr != nil {
+		return m, attrErr
+	}
+
+	// Completeness: every accessible document node is exposed.
+	var missing *xmltree.Node
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if acc[n] && !exposed[n] && missing == nil {
+			missing = n
+		}
+		return true
+	})
+	if missing != nil {
+		return m, fmt.Errorf("secview: incomplete: accessible document node %s is not exposed by the view", missing.Path())
+	}
+	return m, nil
+}
+
+// compareAttrs checks that a view node's attributes are all and only the
+// accessible attributes of its document node.
+func compareAttrs(vn, dn *xmltree.Node, accessible map[string]bool) error {
+	for name := range vn.Attrs {
+		if !accessible[name] {
+			return fmt.Errorf("secview: unsound: view node %s exposes hidden attribute %q", vn.Path(), name)
+		}
+	}
+	for name, ok := range accessible {
+		if !ok {
+			continue
+		}
+		if _, present := vn.Attr(name); !present {
+			return fmt.Errorf("secview: incomplete: view node %s is missing accessible attribute %q", vn.Path(), name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+package secview
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// Derive runs the paper's Algorithm derive (Fig. 5): given an access
+// specification S = (D, ann) it computes the security view V = (D_v, σ).
+// Inaccessible element types are hidden by short-cutting (their closest
+// accessible descendants are pulled up into the parent production) or,
+// when short-cutting would break the production normal form, by renaming
+// to dummy labels that keep the DTD structure while hiding the label.
+// Recursive inaccessible types are renamed to dummies and retained, so
+// the view DTD preserves the document DTD's recursive structure (end of
+// Section 3.4).
+//
+// The algorithm runs in O(|D|²) time: each element type is processed at
+// most once as accessible and once as inaccessible.
+func Derive(spec *access.Spec) (*View, error) {
+	d := &deriver{
+		spec: spec,
+		view: &View{
+			DTD:     dtd.New(spec.D.Root()),
+			Doc:     spec.D,
+			Spec:    spec,
+			DummyOf: make(map[string]string),
+			sigma:   make(map[access.Edge]xpath.Path),
+		},
+		regs:       make(map[string]*regInfo),
+		inProgress: make(map[string]bool),
+		dummyFor:   make(map[string]string),
+		visitedAcc: make(map[string]bool),
+	}
+	if err := d.procAcc(spec.D.Root()); err != nil {
+		return nil, err
+	}
+	// Register productions and σ edges for every dummy created for a
+	// hidden type (including recursive ones resolved after the fact).
+	if err := d.finishDummies(); err != nil {
+		return nil, err
+	}
+	d.projectAttlists()
+	if err := d.view.DTD.Check(); err != nil {
+		return nil, fmt.Errorf("secview: derived view DTD is inconsistent: %v", err)
+	}
+	return d.view, nil
+}
+
+// projectAttlists copies each exposed element type's attribute
+// declarations into the view DTD, dropping denied attributes. Dummy
+// types expose no attributes: their document node is hidden, and its
+// attributes with it.
+func (d *deriver) projectAttlists() {
+	for _, t := range d.view.DTD.Types() {
+		if d.view.IsDummy(t) {
+			continue
+		}
+		var visible []dtd.AttrDef
+		for _, def := range d.spec.D.Attlist(t) {
+			if d.spec.AttrAccessible(t, def.Name) {
+				visible = append(visible, def)
+			}
+		}
+		d.view.DTD.SetAttlist(t, visible)
+	}
+}
+
+// regInfo is the paper's reg(A) for an inaccessible type A: a content
+// model over A's closest accessible descendants (view labels), with
+// path[A, C] the document-side XPath from A to each entry C. A nil
+// regInfo ("none") means A has no accessible descendants (reg(A) = ∅).
+//
+// regInfo is normalized: a reg with exactly one unstarred item has kind
+// Seq; one starred item has kind Star.
+type regInfo struct {
+	kind  dtd.Kind
+	items []dtd.Item
+	path  map[string]xpath.Path
+}
+
+func (r *regInfo) none() bool { return r == nil || len(r.items) == 0 }
+
+func (r *regInfo) normalize() *regInfo {
+	if r.none() {
+		return nil
+	}
+	if len(r.items) == 1 {
+		if r.items[0].Starred {
+			r.kind = dtd.Star
+			r.items[0].Starred = false
+		} else if r.kind != dtd.Star {
+			r.kind = dtd.Seq
+		}
+	}
+	return r
+}
+
+type deriver struct {
+	spec *access.Spec
+	view *View
+
+	visitedAcc map[string]bool
+	regs       map[string]*regInfo // memoized Proc_InAcc results
+	inProgress map[string]bool     // Proc_InAcc re-entrancy detection
+	dummyFor   map[string]string   // hidden type -> dummy label
+	nextDummy  int
+}
+
+// effAnn returns the effective annotation of the (parent, child) edge:
+// the explicit annotation if any, otherwise inheritance from the parent's
+// accessibility.
+func (d *deriver) effAnn(parent, child string, parentAccessible bool) access.Ann {
+	if a, ok := d.spec.Ann(parent, child); ok {
+		return a
+	}
+	if parentAccessible {
+		return access.Ann{Kind: access.Allow}
+	}
+	return access.Ann{Kind: access.Deny}
+}
+
+// prodBuilder accumulates the items and σ/path annotations of one view
+// production (or one reg), merging duplicate labels into a single starred
+// item whose query is the union of the merged access paths (the paper's
+// compaction of Example 3.4).
+type prodBuilder struct {
+	kind  dtd.Kind
+	items []dtd.Item
+	paths map[string]xpath.Path
+}
+
+func newProdBuilder(kind dtd.Kind) *prodBuilder {
+	return &prodBuilder{kind: kind, paths: make(map[string]xpath.Path)}
+}
+
+func (b *prodBuilder) add(name string, starred bool, p xpath.Path) {
+	if existing, ok := b.paths[name]; ok {
+		// Duplicate label: merge. In a sequence the merged item becomes
+		// starred; in a choice it stays a single alternative.
+		b.paths[name] = factorUnion(existing, p)
+		for i := range b.items {
+			if b.items[i].Name == name {
+				if b.kind == dtd.Seq {
+					b.items[i].Starred = true
+				}
+				break
+			}
+		}
+		return
+	}
+	b.paths[name] = p
+	b.items = append(b.items, dtd.Item{Name: name, Starred: starred})
+}
+
+// content returns the accumulated content model. For a Star builder the
+// single item is rendered through dtd.StarContent.
+func (b *prodBuilder) content() dtd.Content {
+	if len(b.items) == 0 {
+		return dtd.EmptyContent()
+	}
+	if b.kind == dtd.Star {
+		return dtd.StarContent(b.items[0].Name)
+	}
+	if len(b.items) == 1 && b.items[0].Starred {
+		return dtd.StarContent(b.items[0].Name)
+	}
+	return dtd.Content{Kind: b.kind, Items: b.items}
+}
+
+// procAcc is Proc_Acc(S, A): A is accessible; build the view production
+// P_v(A) and σ(A, ·), then recurse.
+func (d *deriver) procAcc(a string) error {
+	if d.visitedAcc[a] {
+		return nil
+	}
+	d.visitedAcc[a] = true
+	prod := d.spec.D.MustProduction(a)
+	switch prod.Kind {
+	case dtd.Empty:
+		d.view.DTD.SetProduction(a, dtd.EmptyContent())
+		return nil
+	case dtd.Text:
+		ann := d.effAnn(a, dtd.TextLabel, true)
+		switch ann.Kind {
+		case access.Deny:
+			// Fig. 5 case 4: hidden text content yields P_v(A) = A -> ε.
+			d.view.DTD.SetProduction(a, dtd.EmptyContent())
+		case access.Cond:
+			return fmt.Errorf("secview: conditional annotation on text content of %q is not supported", a)
+		default:
+			d.view.DTD.SetProduction(a, dtd.TextContent())
+			d.view.setSigma(a, dtd.TextLabel, xpath.Label{Name: xpath.TextName})
+		}
+		return nil
+	}
+	b := newProdBuilder(prod.Kind)
+	for _, it := range prod.Items {
+		if err := d.child(a, it.Name, true, b); err != nil {
+			return err
+		}
+	}
+	d.view.DTD.SetProduction(a, b.content())
+	for name, p := range b.paths {
+		d.view.setSigma(a, name, p)
+	}
+	return nil
+}
+
+// child processes one child type of a production, for both Proc_Acc
+// (intoView true: builder holds P_v(parent) and σ) and Proc_InAcc
+// (builder holds reg(parent) and path).
+func (d *deriver) child(parent, child string, parentAccessible bool, b *prodBuilder) error {
+	ann := d.effAnn(parent, child, parentAccessible)
+	switch ann.Kind {
+	case access.Allow:
+		b.add(child, false, xpath.L(child))
+		return d.procAcc(child)
+	case access.Cond:
+		b.add(child, false, xpath.Qualified{Sub: xpath.L(child), Cond: ann.Cond})
+		return d.procAcc(child)
+	}
+	// Inaccessible child: compute reg(child) and short-cut or rename.
+	if d.inProgress[child] {
+		// Recursive inaccessible type (Section 3.4): rename to a dummy and
+		// retain it; its production is registered by finishDummies.
+		x := d.dummyLabel(child)
+		b.add(x, b.kind == dtd.Star, xpath.L(child))
+		return nil
+	}
+	reg, err := d.procInacc(child)
+	if err != nil {
+		return err
+	}
+	if reg.none() {
+		return nil // prune: no accessible descendants below child
+	}
+	step := xpath.L(child)
+	prefix := func(p xpath.Path) xpath.Path { return xpath.MakeSeq(step, p) }
+	switch b.kind {
+	case dtd.Seq:
+		switch reg.kind {
+		case dtd.Seq:
+			for _, it := range reg.items {
+				b.add(it.Name, it.Starred, prefix(reg.path[it.Name]))
+			}
+			return nil
+		case dtd.Star:
+			b.add(reg.items[0].Name, true, prefix(reg.path[reg.items[0].Name]))
+			return nil
+		}
+	case dtd.Choice:
+		if reg.kind == dtd.Choice {
+			for _, it := range reg.items {
+				b.add(it.Name, false, prefix(reg.path[it.Name]))
+			}
+			return nil
+		}
+	case dtd.Star:
+		if len(reg.items) == 1 {
+			it := reg.items[0]
+			b.add(it.Name, true, prefix(reg.path[it.Name]))
+			return nil
+		}
+	}
+	// Short-cutting would violate the production normal form: rename the
+	// inaccessible child to a dummy label (Fig. 5 steps 16-20).
+	x := d.dummyLabel(child)
+	b.add(x, b.kind == dtd.Star, step)
+	return nil
+}
+
+// procInacc is Proc_InAcc(S, A): A is inaccessible; compute reg(A) and
+// path[A, C] for each entry C.
+func (d *deriver) procInacc(a string) (*regInfo, error) {
+	if r, ok := d.regs[a]; ok {
+		return r, nil
+	}
+	d.inProgress[a] = true
+	defer delete(d.inProgress, a)
+
+	prod := d.spec.D.MustProduction(a)
+	switch prod.Kind {
+	case dtd.Empty, dtd.Text:
+		// Hidden text content has no accessible element descendants. (An
+		// explicit Y on (A, str) under an inaccessible A cannot be exposed
+		// without revealing structure; it is treated as unsupported.)
+		if ann, ok := d.spec.Ann(a, dtd.TextLabel); ok && ann.Kind != access.Deny {
+			return nil, fmt.Errorf("secview: annotation on text content of inaccessible %q is not supported", a)
+		}
+		d.regs[a] = nil
+		return nil, nil
+	}
+	b := newProdBuilder(prod.Kind)
+	for _, it := range prod.Items {
+		if err := d.child(a, it.Name, false, b); err != nil {
+			return nil, err
+		}
+	}
+	r := (&regInfo{kind: b.kind, items: b.items, path: b.paths}).normalize()
+	d.regs[a] = r
+	return r, nil
+}
+
+// dummyLabel returns the dummy label hiding the given document type,
+// minting one on first use. Reusing one dummy per hidden type keeps
+// recursive view DTDs finite and the output deterministic.
+func (d *deriver) dummyLabel(hidden string) string {
+	if x, ok := d.dummyFor[hidden]; ok {
+		return x
+	}
+	d.nextDummy++
+	x := fmt.Sprintf("dummy%d", d.nextDummy)
+	d.dummyFor[hidden] = x
+	d.view.DummyOf[x] = hidden
+	return x
+}
+
+// finishDummies registers the production X -> reg(B) and the σ(X, ·)
+// edges for every dummy label X hiding a type B. Recursive hidden types
+// have their reg completed by the time derive finishes, so this runs
+// last.
+func (d *deriver) finishDummies() error {
+	// dummyFor can grow while processing recursive chains; iterate until
+	// stable, in dummy-label order so the derived view is deterministic.
+	done := make(map[string]bool)
+	for {
+		pending := make(map[string]string) // dummy label -> hidden type
+		for hidden, x := range d.dummyFor {
+			if !done[x] {
+				pending[x] = hidden
+			}
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+		labels := make([]string, 0, len(pending))
+		for x := range pending {
+			labels = append(labels, x)
+		}
+		sort.Strings(labels)
+		for _, x := range labels {
+			done[x] = true
+			reg, err := d.procInacc(pending[x])
+			if err != nil {
+				return err
+			}
+			if reg.none() {
+				d.view.DTD.SetProduction(x, dtd.EmptyContent())
+				continue
+			}
+			b := &prodBuilder{kind: reg.kind, items: reg.items, paths: reg.path}
+			d.view.DTD.SetProduction(x, b.content())
+			for name, p := range reg.path {
+				d.view.setSigma(x, name, p)
+			}
+		}
+	}
+}
+
+// factorUnion builds p1 ∪ p2, factoring a shared trailing step so merged
+// σ annotations read like the paper's (clinicalTrial ∪ ε)/patientInfo
+// rather than clinicalTrial/patientInfo ∪ patientInfo.
+func factorUnion(p1, p2 xpath.Path) xpath.Path {
+	pre1, last1 := splitLast(p1)
+	pre2, last2 := splitLast(p2)
+	if xpath.Equal(last1, last2) {
+		return xpath.MakeSeq(xpath.Union{Left: pre1, Right: pre2}, last1)
+	}
+	return xpath.MakeUnion(p1, p2)
+}
+
+// splitLast splits a path into (prefix, last step); a single step has
+// prefix ε.
+func splitLast(p xpath.Path) (xpath.Path, xpath.Path) {
+	if s, ok := p.(xpath.Seq); ok {
+		return s.Left, s.Right
+	}
+	return xpath.Self{}, p
+}

@@ -1,0 +1,428 @@
+package secview
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+const hospitalDTD = `
+root hospital
+hospital -> dept*
+dept -> clinicalTrial, patientInfo, staffInfo
+clinicalTrial -> patientInfo
+patientInfo -> patient*
+patient -> name, wardNo, treatment
+treatment -> trial + regular
+trial -> bill
+regular -> bill, medication
+staffInfo -> staff*
+staff -> doctor + nurse
+doctor -> name
+nurse -> name
+name -> #PCDATA
+wardNo -> #PCDATA
+bill -> #PCDATA
+medication -> #PCDATA
+`
+
+const nurseSpec = `
+ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+ann(dept, clinicalTrial) = N
+ann(clinicalTrial, patientInfo) = Y
+ann(treatment, trial) = N
+ann(treatment, regular) = N
+ann(trial, bill) = Y
+ann(regular, bill) = Y
+ann(regular, medication) = Y
+`
+
+// nurseView derives the paper's Example 3.2 view with $wardNo bound.
+func nurseView(t *testing.T, ward string) *View {
+	t.Helper()
+	d := dtd.MustParse(hospitalDTD)
+	s := access.MustParseAnnotations(d, nurseSpec)
+	bound, err := s.Bind(map[string]string{"wardNo": ward})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	v, err := Derive(bound)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	return v
+}
+
+func prodString(t *testing.T, v *View, typ string) string {
+	t.Helper()
+	c, ok := v.DTD.Production(typ)
+	if !ok {
+		t.Fatalf("view has no production for %s; view:\n%s", typ, v)
+	}
+	return c.String()
+}
+
+func sigmaString(t *testing.T, v *View, parent, child string) string {
+	t.Helper()
+	p, ok := v.Sigma(parent, child)
+	if !ok {
+		t.Fatalf("view has no σ(%s, %s); view:\n%s", parent, child, v)
+	}
+	return xpath.String(p)
+}
+
+// TestDeriveNurseView pins the derived view of the paper's Example 3.2 /
+// Fig. 2.
+func TestDeriveNurseView(t *testing.T) {
+	v := nurseView(t, "6")
+
+	// hospital -> dept* with σ = dept[qualifier].
+	if got := prodString(t, v, "hospital"); got != "dept*" {
+		t.Errorf("hospital production = %q", got)
+	}
+	if got := sigmaString(t, v, "hospital", "dept"); got != `dept[*/patient/wardNo = "6"]` {
+		t.Errorf("σ(hospital, dept) = %q", got)
+	}
+
+	// dept -> patientInfo*, staffInfo: clinicalTrial short-cut, the two
+	// patientInfo entries merged into a starred item (Example 3.4).
+	if got := prodString(t, v, "dept"); got != "patientInfo*, staffInfo" {
+		t.Errorf("dept production = %q", got)
+	}
+	if got := sigmaString(t, v, "dept", "patientInfo"); got != "(clinicalTrial | .)/patientInfo" {
+		t.Errorf("σ(dept, patientInfo) = %q", got)
+	}
+	if got := sigmaString(t, v, "dept", "staffInfo"); got != "staffInfo" {
+		t.Errorf("σ(dept, staffInfo) = %q", got)
+	}
+
+	// clinicalTrial must not be a view type.
+	for _, hidden := range []string{"clinicalTrial", "trial", "regular"} {
+		if v.DTD.Has(hidden) {
+			t.Errorf("hidden type %s appears in the view DTD", hidden)
+		}
+	}
+
+	// treatment -> dummy1 + dummy2 hiding trial and regular.
+	if got := prodString(t, v, "treatment"); got != "dummy1 + dummy2" {
+		t.Errorf("treatment production = %q", got)
+	}
+	if v.DummyOf["dummy1"] != "trial" || v.DummyOf["dummy2"] != "regular" {
+		t.Errorf("DummyOf = %v", v.DummyOf)
+	}
+	if got := sigmaString(t, v, "treatment", "dummy1"); got != "trial" {
+		t.Errorf("σ(treatment, dummy1) = %q", got)
+	}
+	if got := sigmaString(t, v, "treatment", "dummy2"); got != "regular" {
+		t.Errorf("σ(treatment, dummy2) = %q", got)
+	}
+	if got := prodString(t, v, "dummy1"); got != "bill" {
+		t.Errorf("dummy1 production = %q", got)
+	}
+	if got := prodString(t, v, "dummy2"); got != "bill, medication" {
+		t.Errorf("dummy2 production = %q", got)
+	}
+	if got := sigmaString(t, v, "dummy1", "bill"); got != "bill" {
+		t.Errorf("σ(dummy1, bill) = %q", got)
+	}
+
+	// Untouched productions copy over with identity σ.
+	if got := prodString(t, v, "patient"); got != "name, wardNo, treatment" {
+		t.Errorf("patient production = %q", got)
+	}
+	if got := sigmaString(t, v, "patient", "treatment"); got != "treatment" {
+		t.Errorf("σ(patient, treatment) = %q", got)
+	}
+	if got := prodString(t, v, "staff"); got != "doctor + nurse" {
+		t.Errorf("staff production = %q", got)
+	}
+	if got := prodString(t, v, "name"); got != "#PCDATA" {
+		t.Errorf("name production = %q", got)
+	}
+	if v.IsRecursive() {
+		t.Errorf("nurse view reported recursive")
+	}
+	if err := v.DTD.Check(); err != nil {
+		t.Errorf("view DTD check: %v", err)
+	}
+}
+
+func TestDeriveEmptySpecIsIdentity(t *testing.T) {
+	d := dtd.MustParse(hospitalDTD)
+	v, err := Derive(access.NewSpec(d))
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if v.DTD.Len() != d.Len() {
+		t.Fatalf("view has %d types, document DTD %d", v.DTD.Len(), d.Len())
+	}
+	for _, typ := range d.Types() {
+		want := d.MustProduction(typ).String()
+		if got := prodString(t, v, typ); got != want {
+			t.Errorf("production %s = %q, want %q", typ, got, want)
+		}
+	}
+	if got := sigmaString(t, v, "dept", "clinicalTrial"); got != "clinicalTrial" {
+		t.Errorf("identity σ = %q", got)
+	}
+}
+
+func TestDerivePruneSubtree(t *testing.T) {
+	// Denying a subtree with no accessible descendants removes it
+	// entirely (Fig. 5 step 11).
+	d := dtd.MustParse(hospitalDTD)
+	s := access.MustParseAnnotations(d, "ann(dept, clinicalTrial) = N\n")
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if got := prodString(t, v, "dept"); got != "patientInfo, staffInfo" {
+		t.Errorf("dept production = %q", got)
+	}
+	if v.DTD.Has("clinicalTrial") {
+		t.Errorf("pruned type still declared")
+	}
+	if len(v.DummyOf) != 0 {
+		t.Errorf("unexpected dummies %v", v.DummyOf)
+	}
+}
+
+func TestDeriveShortcutChain(t *testing.T) {
+	// Two stacked inaccessible types short-cut transitively.
+	d := dtd.MustParse(`
+root r
+r -> a
+a -> b
+b -> c
+c -> #PCDATA
+`)
+	s := access.MustParseAnnotations(d, `
+ann(r, a) = N
+ann(b, c) = Y
+`)
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if got := prodString(t, v, "r"); got != "c" {
+		t.Errorf("r production = %q", got)
+	}
+	if got := sigmaString(t, v, "r", "c"); got != "a/b/c" {
+		t.Errorf("σ(r, c) = %q", got)
+	}
+}
+
+func TestDeriveQualifierPreservedInPath(t *testing.T) {
+	// Conditional annotations inside an inaccessible region are preserved
+	// in path (Fig. 5 Proc_InAcc step 9).
+	d := dtd.MustParse(`
+root r
+r -> a
+a -> b
+b -> flag
+flag -> #PCDATA
+`)
+	s := access.MustParseAnnotations(d, `
+ann(r, a) = N
+ann(a, b) = [flag = "on"]
+`)
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if got := sigmaString(t, v, "r", "b"); got != `a/b[flag = "on"]` {
+		t.Errorf("σ(r, b) = %q", got)
+	}
+}
+
+func TestDeriveStarThroughInaccessible(t *testing.T) {
+	// A -> B* with B inaccessible and reg(B) = C collapses to A -> C*.
+	d := dtd.MustParse(`
+root r
+r -> w*
+w -> item
+item -> #PCDATA
+`)
+	s := access.MustParseAnnotations(d, `
+ann(r, w) = N
+ann(w, item) = Y
+`)
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if got := prodString(t, v, "r"); got != "item*" {
+		t.Errorf("r production = %q", got)
+	}
+	if got := sigmaString(t, v, "r", "item"); got != "w/item" {
+		t.Errorf("σ(r, item) = %q", got)
+	}
+}
+
+func TestDeriveChoiceInlinesChoice(t *testing.T) {
+	// Choice reg inlines into a choice parent (Fig. 5 case 2).
+	d := dtd.MustParse(`
+root r
+r -> x + y
+x -> c + e
+y -> #PCDATA
+c -> #PCDATA
+e -> #PCDATA
+`)
+	s := access.MustParseAnnotations(d, `
+ann(r, x) = N
+ann(x, c) = Y
+ann(x, e) = Y
+`)
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if got := prodString(t, v, "r"); got != "c + e + y" {
+		t.Errorf("r production = %q", got)
+	}
+	if got := sigmaString(t, v, "r", "c"); got != "x/c" {
+		t.Errorf("σ(r, c) = %q", got)
+	}
+}
+
+func TestDeriveChoiceDummiesSequences(t *testing.T) {
+	// The paper's Example 3.4 rule: a concatenation reg (even a singleton)
+	// under a choice parent is renamed, never inlined.
+	d := dtd.MustParse(`
+root r
+r -> x + y
+x -> c
+y -> #PCDATA
+c -> #PCDATA
+`)
+	s := access.MustParseAnnotations(d, `
+ann(r, x) = N
+ann(x, c) = Y
+`)
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if got := prodString(t, v, "r"); got != "dummy1 + y" {
+		t.Errorf("r production = %q", got)
+	}
+	if got := prodString(t, v, "dummy1"); got != "c" {
+		t.Errorf("dummy1 production = %q", got)
+	}
+	if got := sigmaString(t, v, "r", "dummy1"); got != "x" {
+		t.Errorf("σ(r, dummy1) = %q", got)
+	}
+	if got := sigmaString(t, v, "dummy1", "c"); got != "c" {
+		t.Errorf("σ(dummy1, c) = %q", got)
+	}
+}
+
+func TestDeriveHiddenText(t *testing.T) {
+	d := dtd.MustParse(hospitalDTD)
+	s := access.MustParseAnnotations(d, "ann(wardNo, str) = N\n")
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if got := prodString(t, v, "wardNo"); got != "EMPTY" {
+		t.Errorf("wardNo production = %q", got)
+	}
+	if _, ok := v.Sigma("wardNo", dtd.TextLabel); ok {
+		t.Errorf("σ(wardNo, str) defined for hidden text")
+	}
+}
+
+func TestDeriveRecursiveAccessible(t *testing.T) {
+	// Recursion among accessible types survives untouched; an
+	// inaccessible node inside the cycle is short-cut on every unfolding
+	// because the accessible child is explicitly allowed.
+	d := dtd.MustParse(`
+root a
+a -> b, c
+b -> #PCDATA
+c -> a*
+`)
+	s := access.MustParseAnnotations(d, `
+ann(a, c) = N
+ann(c, a) = Y
+`)
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if got := prodString(t, v, "a"); got != "b, a*" {
+		t.Errorf("a production = %q", got)
+	}
+	if got := sigmaString(t, v, "a", "a"); got != "c/a" {
+		t.Errorf("σ(a, a) = %q", got)
+	}
+	if !v.IsRecursive() {
+		t.Errorf("view not recursive")
+	}
+}
+
+func TestDeriveRecursiveInaccessibleDummy(t *testing.T) {
+	// A fully inaccessible recursive region is renamed to a dummy and
+	// retained (Section 3.4's treatment of recursive inaccessible nodes).
+	d := dtd.MustParse(`
+root a
+a -> b, c
+b -> #PCDATA
+c -> a*
+`)
+	s := access.MustParseAnnotations(d, "ann(a, c) = N\n")
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	// a -> b, X* where X is the dummy for c; X -> X*.
+	aProd := prodString(t, v, "a")
+	if aProd != "b, dummy1*" {
+		t.Errorf("a production = %q; view:\n%s", aProd, v)
+	}
+	if v.DummyOf["dummy1"] != "c" {
+		t.Errorf("DummyOf = %v", v.DummyOf)
+	}
+	if got := prodString(t, v, "dummy1"); got != "dummy1*" {
+		t.Errorf("dummy1 production = %q", got)
+	}
+	if got := sigmaString(t, v, "a", "dummy1"); got != "c/a/c" {
+		t.Errorf("σ(a, dummy1) = %q", got)
+	}
+	if got := sigmaString(t, v, "dummy1", "dummy1"); got != "a/c" {
+		t.Errorf("σ(dummy1, dummy1) = %q", got)
+	}
+	if !v.IsRecursive() {
+		t.Errorf("view not recursive")
+	}
+}
+
+func TestDeriveConditionalTextUnsupported(t *testing.T) {
+	d := dtd.MustParse("root a\na -> b\nb -> #PCDATA\n")
+	s := access.NewSpec(d)
+	if err := s.Annotate("b", dtd.TextLabel, access.Ann{Kind: access.Cond, Cond: xpath.QTrue{}}); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	if _, err := Derive(s); err == nil {
+		t.Errorf("conditional text annotation accepted")
+	}
+}
+
+func TestViewString(t *testing.T) {
+	v := nurseView(t, "6")
+	s := v.String()
+	for _, want := range []string{
+		"view root hospital",
+		"production: treatment -> dummy1 + dummy2",
+		"σ(dept, patientInfo) = (clinicalTrial | .)/patientInfo",
+		"dummy1 hides trial",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("View.String() missing %q:\n%s", want, s)
+		}
+	}
+}

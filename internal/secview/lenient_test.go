@@ -1,0 +1,103 @@
+package secview
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// lenientFixture builds a view whose strict materialization aborts: a
+// required concatenation child is conditionally accessible and the
+// condition fails.
+func lenientFixture(t *testing.T) (*View, *xmltree.Document) {
+	t.Helper()
+	d := dtd.MustParse(`
+root r
+r -> a, b
+a -> flag
+flag -> #PCDATA
+b -> #PCDATA
+`)
+	s := access.MustParseAnnotations(d, `ann(r, a) = [flag = "on"]`)
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	doc := xmltree.NewDocument(xmltree.E("r",
+		xmltree.E("a", xmltree.T("flag", "off")), xmltree.T("b", "data")))
+	return v, doc
+}
+
+func TestMaterializeLenientSkipsMissing(t *testing.T) {
+	v, doc := lenientFixture(t)
+	if _, err := Materialize(v, doc); err == nil {
+		t.Fatalf("strict materialization did not abort")
+	}
+	m, err := MaterializeLenient(v, doc)
+	if err != nil {
+		t.Fatalf("MaterializeLenient: %v", err)
+	}
+	// The a entry is skipped; b survives.
+	if got := len(xpath.EvalDoc(xpath.MustParse("a"), m.View)); got != 0 {
+		t.Errorf("lenient view kept %d a nodes", got)
+	}
+	bs := xpath.EvalDoc(xpath.MustParse("b"), m.View)
+	if len(bs) != 1 || bs[0].Text() != "data" {
+		t.Errorf("lenient view b = %v", bs)
+	}
+}
+
+func TestMaterializeLenientChoiceNoMatch(t *testing.T) {
+	// A disjunction whose only accessible branch is conditionally hidden:
+	// strict aborts, lenient yields a childless node.
+	d := dtd.MustParse(`
+root r
+r -> t
+t -> x + y
+x -> #PCDATA
+y -> #PCDATA
+`)
+	s := access.MustParseAnnotations(d, `
+ann(t, x) = [. = "never"]
+ann(t, y) = [. = "never"]
+`)
+	v, err := Derive(s)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	doc := xmltree.NewDocument(xmltree.E("r", xmltree.T("t", "")))
+	_ = doc
+	doc2 := xmltree.NewDocument(xmltree.E("r", xmltree.E("t", xmltree.T("x", "value"))))
+	var abort *AbortError
+	if _, err := Materialize(v, doc2); !errors.As(err, &abort) {
+		t.Fatalf("strict did not abort: %v", err)
+	}
+	m, err := MaterializeLenient(v, doc2)
+	if err != nil {
+		t.Fatalf("MaterializeLenient: %v", err)
+	}
+	ts := xpath.EvalDoc(xpath.MustParse("t"), m.View)
+	if len(ts) != 1 || len(ts[0].Children) != 0 {
+		t.Errorf("lenient choice result = %v", ts)
+	}
+}
+
+func TestMaterializeLenientMatchesStrictWhenNoAbort(t *testing.T) {
+	v := nurseView(t, "6")
+	doc := hospitalInstance()
+	strict, err := Materialize(v, doc)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	lenient, err := MaterializeLenient(v, doc)
+	if err != nil {
+		t.Fatalf("MaterializeLenient: %v", err)
+	}
+	if strict.View.XML() != lenient.View.XML() {
+		t.Errorf("lenient differs from strict on a non-aborting document")
+	}
+}

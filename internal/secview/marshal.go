@@ -1,0 +1,188 @@
+package secview
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// MarshalText serializes a view definition so it can be derived once by
+// the administrator and loaded by query frontends (which also need the
+// document DTD and the specification to enforce it — both are embedded).
+// The format is line-oriented and stable:
+//
+//	securexml-view 1
+//	-- document dtd
+//	<compact DTD>
+//	-- spec
+//	<annotations>
+//	-- view dtd
+//	<compact DTD, including dummy productions>
+//	-- sigma
+//	σ(parent, child) = <query>
+//	-- dummies
+//	dummyN = <hidden type>
+func (v *View) MarshalText() ([]byte, error) {
+	var b strings.Builder
+	b.WriteString("securexml-view 1\n")
+	b.WriteString("-- document dtd\n")
+	b.WriteString(v.Doc.String())
+	b.WriteString("-- spec\n")
+	b.WriteString(v.Spec.String())
+	b.WriteString("-- view dtd\n")
+	b.WriteString(v.DTD.String())
+	b.WriteString("-- sigma\n")
+	for _, a := range v.DTD.Types() {
+		c := v.DTD.MustProduction(a)
+		if c.Kind == dtd.Text {
+			if p, ok := v.Sigma(a, dtd.TextLabel); ok {
+				fmt.Fprintf(&b, "sigma(%s, #text) = %s\n", a, xpath.String(p))
+			}
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, it := range c.Items {
+			if seen[it.Name] {
+				continue
+			}
+			seen[it.Name] = true
+			if p, ok := v.Sigma(a, it.Name); ok {
+				fmt.Fprintf(&b, "sigma(%s, %s) = %s\n", a, it.Name, xpath.String(p))
+			}
+		}
+	}
+	b.WriteString("-- dummies\n")
+	for _, a := range v.DTD.Types() {
+		if hidden, ok := v.DummyOf[a]; ok {
+			fmt.Fprintf(&b, "%s = %s\n", a, hidden)
+		}
+	}
+	return []byte(b.String()), nil
+}
+
+// UnmarshalView parses a serialized view definition.
+func UnmarshalView(data []byte) (*View, error) {
+	sections, err := splitSections(string(data))
+	if err != nil {
+		return nil, err
+	}
+	docDTD, err := dtd.Parse(sections["document dtd"])
+	if err != nil {
+		return nil, fmt.Errorf("secview: document dtd: %v", err)
+	}
+	spec, err := access.ParseAnnotations(docDTD, sections["spec"])
+	if err != nil {
+		return nil, fmt.Errorf("secview: spec: %v", err)
+	}
+	viewDTD, err := dtd.Parse(sections["view dtd"])
+	if err != nil {
+		return nil, fmt.Errorf("secview: view dtd: %v", err)
+	}
+	v := &View{
+		DTD:     viewDTD,
+		Doc:     docDTD,
+		Spec:    spec,
+		DummyOf: make(map[string]string),
+		sigma:   make(map[access.Edge]xpath.Path),
+	}
+	for lineno, line := range strings.Split(sections["sigma"], "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(line, "=")
+		if !ok || !strings.HasPrefix(strings.TrimSpace(lhs), "sigma(") {
+			return nil, fmt.Errorf("secview: sigma line %d: malformed %q", lineno+1, line)
+		}
+		inner := strings.TrimSpace(lhs)
+		inner = strings.TrimSuffix(strings.TrimPrefix(inner, "sigma("), ")")
+		parent, child, ok := strings.Cut(inner, ",")
+		if !ok {
+			return nil, fmt.Errorf("secview: sigma line %d: malformed target %q", lineno+1, lhs)
+		}
+		p, err := xpath.Parse(strings.TrimSpace(rhs))
+		if err != nil {
+			return nil, fmt.Errorf("secview: sigma line %d: %v", lineno+1, err)
+		}
+		v.setSigma(strings.TrimSpace(parent), strings.TrimSpace(child), p)
+	}
+	for lineno, line := range strings.Split(sections["dummies"], "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		name, hidden, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("secview: dummies line %d: malformed %q", lineno+1, line)
+		}
+		v.DummyOf[strings.TrimSpace(name)] = strings.TrimSpace(hidden)
+	}
+	if err := v.validateLoaded(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// splitSections cuts the serialized form at "-- name" markers.
+func splitSections(src string) (map[string]string, error) {
+	lines := strings.Split(src, "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "securexml-view 1" {
+		return nil, fmt.Errorf("secview: not a securexml-view file (missing header)")
+	}
+	sections := make(map[string]string)
+	current := ""
+	var buf strings.Builder
+	flush := func() {
+		if current != "" {
+			sections[current] = buf.String()
+		}
+		buf.Reset()
+	}
+	for _, line := range lines[1:] {
+		if strings.HasPrefix(line, "-- ") {
+			flush()
+			current = strings.TrimSpace(strings.TrimPrefix(line, "-- "))
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+	}
+	flush()
+	for _, want := range []string{"document dtd", "spec", "view dtd", "sigma", "dummies"} {
+		if _, ok := sections[want]; !ok {
+			return nil, fmt.Errorf("secview: missing section %q", want)
+		}
+	}
+	return sections, nil
+}
+
+// validateLoaded sanity-checks a deserialized view: every view production
+// edge must carry a σ annotation, and dummies must name document types.
+func (v *View) validateLoaded() error {
+	for _, a := range v.DTD.Types() {
+		c := v.DTD.MustProduction(a)
+		if c.Kind == dtd.Text {
+			if _, ok := v.Sigma(a, dtd.TextLabel); !ok {
+				return fmt.Errorf("secview: loaded view missing σ(%s, #text)", a)
+			}
+			continue
+		}
+		for _, it := range c.Items {
+			if _, ok := v.Sigma(a, it.Name); !ok {
+				return fmt.Errorf("secview: loaded view missing σ(%s, %s)", a, it.Name)
+			}
+		}
+	}
+	for x, hidden := range v.DummyOf {
+		if !v.DTD.Has(x) {
+			return fmt.Errorf("secview: dummy %s not declared in the view DTD", x)
+		}
+		if !v.Doc.Has(hidden) {
+			return fmt.Errorf("secview: dummy %s hides unknown type %s", x, hidden)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package secview
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+)
+
+func TestViewMarshalRoundTrip(t *testing.T) {
+	v := nurseView(t, "6")
+	data, err := v.MarshalText()
+	if err != nil {
+		t.Fatalf("MarshalText: %v", err)
+	}
+	v2, err := UnmarshalView(data)
+	if err != nil {
+		t.Fatalf("UnmarshalView: %v", err)
+	}
+	// Same view definition: identical rendering and behaviour.
+	if v2.String() != v.String() {
+		t.Errorf("round trip changed the view:\n%s\nvs\n%s", v, v2)
+	}
+	if v2.DummyOf["dummy1"] != "trial" {
+		t.Errorf("DummyOf lost: %v", v2.DummyOf)
+	}
+	// The loaded view materializes identically.
+	doc := hospitalInstance()
+	m1, err := Materialize(v, doc)
+	if err != nil {
+		t.Fatalf("Materialize(original): %v", err)
+	}
+	m2, err := Materialize(v2, doc)
+	if err != nil {
+		t.Fatalf("Materialize(loaded): %v", err)
+	}
+	if m1.View.XML() != m2.View.XML() {
+		t.Errorf("loaded view materializes differently")
+	}
+	if _, err := CheckSoundComplete(v2, doc); err != nil {
+		t.Errorf("loaded view fails the checker: %v", err)
+	}
+}
+
+func TestViewMarshalRecursive(t *testing.T) {
+	d := mustFig7View(t)
+	data, err := d.MarshalText()
+	if err != nil {
+		t.Fatalf("MarshalText: %v", err)
+	}
+	v2, err := UnmarshalView(data)
+	if err != nil {
+		t.Fatalf("UnmarshalView: %v", err)
+	}
+	if !v2.IsRecursive() {
+		t.Errorf("loaded view lost recursion")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	v := nurseView(t, "6")
+	good, _ := v.MarshalText()
+	cases := []struct {
+		name   string
+		mutate func(string) string
+	}{
+		{"bad header", func(s string) string { return strings.Replace(s, "securexml-view 1", "nope", 1) }},
+		{"missing section", func(s string) string { return strings.Replace(s, "-- dummies", "-- other", 1) }},
+		{"bad sigma", func(s string) string {
+			return strings.Replace(s, "sigma(dept, staffInfo) = staffInfo", "sigma(dept staffInfo", 1)
+		}},
+		{"bad sigma query", func(s string) string { return strings.Replace(s, "= staffInfo", "= [[[", 1) }},
+		{"bad dummy", func(s string) string { return strings.Replace(s, "dummy1 = trial", "dummy1 trial", 1) }},
+		{"unknown hidden type", func(s string) string { return strings.Replace(s, "dummy1 = trial", "dummy1 = ghost", 1) }},
+		{"bad view dtd", func(s string) string { return strings.Replace(s, "dummy2 -> bill, medication", "dummy2 ->", 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mutate(string(good))
+			if bad == string(good) {
+				t.Fatalf("mutation had no effect")
+			}
+			if _, err := UnmarshalView([]byte(bad)); err == nil {
+				t.Errorf("corrupted view accepted")
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsMissingSigma(t *testing.T) {
+	v := nurseView(t, "6")
+	good, _ := v.MarshalText()
+	bad := strings.Replace(string(good), "sigma(dummy1, bill) = bill\n", "", 1)
+	if _, err := UnmarshalView([]byte(bad)); err == nil {
+		t.Errorf("view with missing σ edge accepted")
+	}
+}
+
+func mustFig7View(t *testing.T) *View {
+	t.Helper()
+	// Reuse the fixture DTD from derive tests (recursive dummy case).
+	return deriveFixture(t, `
+root a
+a -> b, c
+b -> #PCDATA
+c -> a*
+`, "ann(a, c) = N\n")
+}
+
+func deriveFixture(t *testing.T, dtdSrc, specSrc string) *View {
+	t.Helper()
+	d := dtd.MustParse(dtdSrc)
+	v, err := Derive(access.MustParseAnnotations(d, specSrc))
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	return v
+}

@@ -1,0 +1,156 @@
+package secview
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/dtds"
+	"repro/internal/xmlgen"
+)
+
+// TestDeriveSoundCompleteProperty is the headline property of the
+// reproduction (Theorem 3.2): for random unconditional policies over the
+// hospital DTD, the derived view is sound and complete on random
+// conforming documents. Unconditional (Y/N) policies never abort, so
+// every failure here is a derivation or materialization bug.
+func TestDeriveSoundCompleteProperty(t *testing.T) {
+	d := dtds.Hospital()
+	// All annotatable edges of the DTD.
+	type edge struct{ parent, child string }
+	var edges []edge
+	for _, a := range d.Types() {
+		c := d.MustProduction(a)
+		if c.Kind == dtd.Text {
+			edges = append(edges, edge{a, dtd.TextLabel})
+			continue
+		}
+		for _, b := range d.Children(a) {
+			edges = append(edges, edge{a, b})
+		}
+	}
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := access.NewSpec(d)
+		for _, e := range edges {
+			switch r.Intn(4) {
+			case 0:
+				if err := spec.Annotate(e.parent, e.child, access.Ann{Kind: access.Allow}); err != nil {
+					t.Fatalf("Annotate: %v", err)
+				}
+			case 1:
+				if err := spec.Annotate(e.parent, e.child, access.Ann{Kind: access.Deny}); err != nil {
+					t.Fatalf("Annotate: %v", err)
+				}
+			}
+		}
+		view, err := Derive(spec)
+		if err != nil {
+			// The only acceptable failure is the documented unsupported
+			// case: a text annotation under an inaccessible element.
+			if strings.Contains(err.Error(), "not supported") {
+				return true
+			}
+			t.Logf("seed %d: Derive: %v", seed, err)
+			return false
+		}
+		doc := xmlgen.Generate(d, xmlgen.Config{Seed: seed, MinRepeat: 1, MaxRepeat: 3})
+		if _, err := CheckSoundComplete(view, doc); err != nil {
+			// An abort is the legitimate Theorem 3.2 outcome "no sound and
+			// complete view exists" — e.g. a disjunction whose only taken
+			// branch was fully pruned. Anything else is a real bug.
+			var abort *AbortError
+			if errors.As(err, &abort) {
+				return true
+			}
+			t.Logf("seed %d: %v\nspec:\n%s\nview:\n%s", seed, err, spec, view)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeriveSoundCompleteRecursiveProperty runs the same property over
+// the recursive Fig. 7 DTD.
+func TestDeriveSoundCompleteRecursiveProperty(t *testing.T) {
+	d := dtds.Fig7()
+	combos := []string{
+		"",
+		"ann(a, c) = N\n",
+		"ann(a, c) = N\nann(c, a) = Y\n",
+		"ann(a, b) = N\n",
+		"ann(a, b) = N\nann(a, c) = N\nann(c, a) = Y\n",
+		"ann(c, a) = N\n",
+	}
+	for i, src := range combos {
+		spec := access.MustParseAnnotations(d, src)
+		view, err := Derive(spec)
+		if err != nil {
+			t.Errorf("combo %d: Derive: %v", i, err)
+			continue
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			doc := xmlgen.Generate(d, xmlgen.Config{Seed: seed, MaxRepeat: 2, MaxDepth: 5})
+			if _, err := CheckSoundComplete(view, doc); err != nil {
+				t.Errorf("combo %d seed %d: %v\nview:\n%s", i, seed, err, view)
+			}
+		}
+	}
+}
+
+// TestDeriveSoundCompleteAdexVariants checks policy variants over the
+// larger Adex DTD.
+func TestDeriveSoundCompleteAdexVariants(t *testing.T) {
+	d := dtds.Adex()
+	variants := []string{
+		dtds.AdexSpecSource,
+		"ann(adex, body) = N\n",
+		"ann(adex, head) = N\nann(buyer-list, buyer-info) = Y\nann(buyer-info, billing-info) = N\n",
+		"ann(ad-content, employment) = N\nann(ad-content, merchandise) = N\n",
+		"ann(real-estate, house) = N\nann(house, r-e.warranty) = Y\n",
+		"ann(buyer-info, contact-info) = N\nann(contact-address, zip) = Y\n",
+	}
+	for i, src := range variants {
+		spec := access.MustParseAnnotations(d, src)
+		view, err := Derive(spec)
+		if err != nil {
+			t.Errorf("variant %d: Derive: %v", i, err)
+			continue
+		}
+		doc := dtds.GenerateAdex(int64(i)+100, 3)
+		if _, err := CheckSoundComplete(view, doc); err != nil {
+			t.Errorf("variant %d: %v", i, err)
+		}
+	}
+}
+
+// TestDeriveDeterministic: two derivations of the same spec are
+// identical, including dummy numbering.
+func TestDeriveDeterministic(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		spec, err := dtds.NurseSpec().Bind(map[string]string{"wardNo": fmt.Sprint(i)})
+		if err != nil {
+			t.Fatalf("Bind: %v", err)
+		}
+		v1, err := Derive(spec)
+		if err != nil {
+			t.Fatalf("Derive: %v", err)
+		}
+		v2, err := Derive(spec)
+		if err != nil {
+			t.Fatalf("Derive: %v", err)
+		}
+		if v1.String() != v2.String() {
+			t.Fatalf("derivation not deterministic:\n%s\nvs\n%s", v1, v2)
+		}
+	}
+}

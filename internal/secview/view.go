@@ -1,0 +1,113 @@
+// Package secview implements the paper's primary contribution: security
+// views (Section 3.3), the automatic view-derivation algorithm derive
+// (Section 3.4, Fig. 5), the top-down materialization semantics of
+// Section 3.3, and checkers that verify soundness and completeness of a
+// derived view against the ground-truth accessibility of Section 3.2.
+//
+// A security view V = (D_v, σ) maps instances of a document DTD D to
+// instances of a view DTD D_v: D_v is the schema exposed to authorized
+// users, and σ annotates every production edge of D_v with an XPath query
+// (over D) that extracts the corresponding accessible data from the
+// document. σ is never shown to users, and in the full system (Fig. 3)
+// the view is never materialized: queries over D_v are rewritten (package
+// rewrite) into equivalent queries over D. The materializer here defines
+// the view's semantics and anchors the equivalence tests.
+package secview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// View is a security view definition V = (D_v, σ) derived from an access
+// specification S = (D, ann).
+type View struct {
+	// DTD is the view DTD D_v exposed to authorized users. Its root type
+	// equals the document root type, and its sequences may contain starred
+	// items (the compact form of the paper's Example 3.4).
+	DTD *dtd.DTD
+	// Doc is the original document DTD D.
+	Doc *dtd.DTD
+	// Spec is the access specification the view enforces.
+	Spec *access.Spec
+	// DummyOf maps each dummy view label (dummy1, dummy2, ...) to the
+	// inaccessible document element type whose label it hides.
+	DummyOf map[string]string
+
+	sigma map[access.Edge]xpath.Path
+}
+
+// Sigma returns σ(parent, child): the document-side XPath query that
+// extracts the child elements of the view production edge. Text content
+// uses child label dtd.TextLabel. The boolean is false when the edge is
+// not part of the view DTD.
+func (v *View) Sigma(parent, child string) (xpath.Path, bool) {
+	p, ok := v.sigma[access.Edge{Parent: parent, Child: child}]
+	return p, ok
+}
+
+// MustSigma returns σ(parent, child) and panics when the edge is absent;
+// it is used by algorithm internals that iterate over D_v productions.
+func (v *View) MustSigma(parent, child string) xpath.Path {
+	p, ok := v.Sigma(parent, child)
+	if !ok {
+		panic(fmt.Sprintf("secview: no σ(%s, %s)", parent, child))
+	}
+	return p
+}
+
+// setSigma records σ(parent, child).
+func (v *View) setSigma(parent, child string, p xpath.Path) {
+	v.sigma[access.Edge{Parent: parent, Child: child}] = p
+}
+
+// IsDummy reports whether the view label is a dummy introduced to hide an
+// inaccessible element type.
+func (v *View) IsDummy(label string) bool {
+	_, ok := v.DummyOf[label]
+	return ok
+}
+
+// IsRecursive reports whether the view DTD is recursive (Section 4.2).
+func (v *View) IsRecursive() bool { return v.DTD.IsRecursive() }
+
+// String renders the view definition: each view production with its σ
+// annotations, in the style of the paper's Example 3.2.
+func (v *View) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "view root %s\n", v.DTD.Root())
+	for _, a := range v.DTD.Types() {
+		c := v.DTD.MustProduction(a)
+		fmt.Fprintf(&b, "production: %s -> %s\n", a, c)
+		if c.Kind == dtd.Text {
+			if p, ok := v.Sigma(a, dtd.TextLabel); ok {
+				fmt.Fprintf(&b, "  σ(%s, str) = %s\n", a, xpath.String(p))
+			}
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, it := range c.Items {
+			if seen[it.Name] {
+				continue
+			}
+			seen[it.Name] = true
+			if p, ok := v.Sigma(a, it.Name); ok {
+				fmt.Fprintf(&b, "  σ(%s, %s) = %s\n", a, it.Name, xpath.String(p))
+			}
+		}
+	}
+	if len(v.DummyOf) > 0 {
+		hidden := make([]string, 0, len(v.DummyOf))
+		for x, b2 := range v.DummyOf {
+			hidden = append(hidden, fmt.Sprintf("%s hides %s", x, b2))
+		}
+		sort.Strings(hidden)
+		fmt.Fprintf(&b, "dummies: %s\n", strings.Join(hidden, ", "))
+	}
+	return b.String()
+}

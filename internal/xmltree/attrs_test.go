@@ -1,0 +1,35 @@
+package xmltree
+
+import (
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+func TestValidateAttributes(t *testing.T) {
+	d := dtd.MustParse(`
+root r
+r -> item*
+item -> #PCDATA
+attlist item id!, note
+`)
+	ok := NewDocument(E("r",
+		A(T("item", "x"), "id", "1"),
+		A(T("item", "y"), "id", "2", "note", "n"),
+	))
+	if err := Validate(ok, d); err != nil {
+		t.Errorf("valid attributes rejected: %v", err)
+	}
+	missing := NewDocument(E("r", T("item", "x")))
+	if err := Validate(missing, d); err == nil {
+		t.Errorf("missing required attribute accepted")
+	}
+	undeclared := NewDocument(E("r", A(T("item", "x"), "id", "1", "bogus", "v")))
+	if err := Validate(undeclared, d); err == nil {
+		t.Errorf("undeclared attribute accepted")
+	}
+	onRoot := NewDocument(A(E("r"), "id", "1"))
+	if err := Validate(onRoot, d); err == nil {
+		t.Errorf("attribute on element without attlist accepted")
+	}
+}

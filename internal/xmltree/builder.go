@@ -1,0 +1,37 @@
+package xmltree
+
+// E builds an element node with the given children, for concise test
+// fixtures and examples:
+//
+//	doc := NewDocument(E("hospital",
+//	    E("dept",
+//	        E("patient", T("name", "Alice")))))
+func E(label string, children ...*Node) *Node {
+	n := NewElement(label)
+	for _, c := range children {
+		n.AppendChild(c)
+	}
+	return n
+}
+
+// T builds an element node holding a single text child.
+func T(label, data string) *Node {
+	n := NewElement(label)
+	n.AppendChild(NewText(data))
+	return n
+}
+
+// Txt builds a bare text node.
+func Txt(data string) *Node {
+	return NewText(data)
+}
+
+// A sets attributes on a node and returns it, for builder chaining:
+//
+//	A(E("patient"), "accessibility", "1")
+func A(n *Node, pairs ...string) *Node {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		n.SetAttr(pairs[i], pairs[i+1])
+	}
+	return n
+}

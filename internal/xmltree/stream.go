@@ -1,0 +1,93 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dtd"
+)
+
+// ValidateStream checks DTD conformance while reading, without building a
+// tree: each open element carries the Brzozowski-derivative state of its
+// content model, advanced by one derivative per child and checked for
+// nullability at the end tag. Memory is proportional to document depth,
+// which makes it suitable for documents too large to materialize.
+func ValidateStream(r io.Reader, d *dtd.DTD) error {
+	dec := xml.NewDecoder(r)
+	type frame struct {
+		label string
+		state dtd.Regex
+	}
+	var stack []frame
+	sawRoot := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("xmltree: %v", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			label := t.Name.Local
+			if len(stack) == 0 {
+				if sawRoot {
+					return fmt.Errorf("xmltree: multiple root elements")
+				}
+				sawRoot = true
+				if label != d.Root() {
+					return fmt.Errorf("xmltree: root is %q, DTD requires %q", label, d.Root())
+				}
+			} else {
+				top := &stack[len(stack)-1]
+				next := dtd.Derive(top.state, label)
+				if _, dead := next.(dtd.RNone); dead {
+					return fmt.Errorf("xmltree: element %s not allowed here under %s", label, top.label)
+				}
+				top.state = next
+			}
+			c, ok := d.Production(label)
+			if !ok {
+				return fmt.Errorf("xmltree: element %s is not declared in the DTD", label)
+			}
+			stack = append(stack, frame{label: label, state: c.Regex()})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return fmt.Errorf("xmltree: unbalanced end element %s", t.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !dtd.Nullable(top.state) {
+				return fmt.Errorf("xmltree: element %s closed with incomplete content", top.label)
+			}
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return fmt.Errorf("xmltree: text outside the root element")
+			}
+			top := &stack[len(stack)-1]
+			next := dtd.Derive(top.state, dtd.TextLabel)
+			if _, dead := next.(dtd.RNone); dead {
+				return fmt.Errorf("xmltree: text not allowed under %s", top.label)
+			}
+			top.state = next
+		}
+	}
+	if !sawRoot {
+		return fmt.Errorf("xmltree: no root element")
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("xmltree: unclosed elements")
+	}
+	return nil
+}
+
+// ValidateStreamString validates XML held in a string.
+func ValidateStreamString(s string, d *dtd.DTD) error {
+	return ValidateStream(strings.NewReader(s), d)
+}

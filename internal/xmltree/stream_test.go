@@ -1,0 +1,114 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+)
+
+const streamDTD = `
+root hospital
+hospital -> dept*
+dept -> patientInfo
+patientInfo -> patient*
+patient -> name, wardNo
+name -> #PCDATA
+wardNo -> #PCDATA
+`
+
+func TestValidateStream(t *testing.T) {
+	d := dtd.MustParse(streamDTD)
+	cases := []struct {
+		name string
+		xml  string
+		ok   bool
+	}{
+		{"valid", `<hospital><dept><patientInfo><patient><name>A</name><wardNo>1</wardNo></patient></patientInfo></dept></hospital>`, true},
+		{"empty star", `<hospital></hospital>`, true},
+		{"wrong root", `<dept></dept>`, false},
+		{"missing child", `<hospital><dept><patientInfo><patient><name>A</name></patient></patientInfo></dept></hospital>`, false},
+		{"wrong order", `<hospital><dept><patientInfo><patient><wardNo>1</wardNo><name>A</name></patient></patientInfo></dept></hospital>`, false},
+		{"undeclared element", `<hospital><oops/></hospital>`, false},
+		{"text where elements", `<hospital>text</hospital>`, false},
+		{"extra child", `<hospital><dept><patientInfo/><patientInfo/></dept></hospital>`, false},
+		{"missing text", `<hospital><dept><patientInfo><patient><name></name><wardNo>1</wardNo></patient></patientInfo></dept></hospital>`, false},
+		{"not xml", `<hospital>`, false},
+		{"empty input", ``, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateStreamString(tc.xml, d)
+			if (err == nil) != tc.ok {
+				t.Errorf("ValidateStream = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+// TestValidateStreamAgreesWithTree: the streaming validator and the
+// tree validator agree on randomly mutated documents.
+func TestValidateStreamAgreesWithTree(t *testing.T) {
+	d := dtd.MustParse(streamDTD)
+	base := MustParseString(`<hospital><dept><patientInfo><patient><name>A</name><wardNo>1</wardNo></patient><patient><name>B</name><wardNo>2</wardNo></patient></patientInfo></dept><dept><patientInfo/></dept></hospital>`)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := NewDocument(base.Root.Clone())
+		mutate(r, doc)
+		xmlStr := doc.XML()
+		// Compare on the serialized form: adjacent text nodes merge during
+		// serialization, so reparse before tree-validating to give both
+		// validators the same input.
+		reparsed, err := ParseString(xmlStr)
+		if err != nil {
+			return ValidateStreamString(xmlStr, d) != nil
+		}
+		treeErr := Validate(reparsed, d) == nil
+		streamErr := ValidateStreamString(xmlStr, d) == nil
+		if treeErr != streamErr {
+			t.Logf("seed %d: tree ok=%v stream ok=%v for\n%s", seed, treeErr, streamErr, xmlStr)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// mutate applies a random structural edit.
+func mutate(r *rand.Rand, doc *Document) {
+	var nodes []*Node
+	doc.Root.Walk(func(n *Node) bool {
+		if n.Kind == ElementNode {
+			nodes = append(nodes, n)
+		}
+		return true
+	})
+	n := nodes[r.Intn(len(nodes))]
+	switch r.Intn(4) {
+	case 0: // drop a child
+		if len(n.Children) > 0 {
+			i := r.Intn(len(n.Children))
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+		}
+	case 1: // duplicate a child
+		if len(n.Children) > 0 {
+			c := n.Children[r.Intn(len(n.Children))].Clone()
+			c.Parent = n
+			n.Children = append(n.Children, c)
+		}
+	case 2: // swap two children
+		if len(n.Children) >= 2 {
+			i, j := r.Intn(len(n.Children)), r.Intn(len(n.Children))
+			n.Children[i], n.Children[j] = n.Children[j], n.Children[i]
+		}
+	case 3: // relabel
+		n.Label = []string{"dept", "patient", "name", "bogus"}[r.Intn(4)]
+		if n.Parent == nil {
+			n.Label = "hospital" // keep the root parseable scenario varied but valid-rooted sometimes
+		}
+	}
+	doc.Renumber()
+}

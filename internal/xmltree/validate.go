@@ -1,0 +1,66 @@
+package xmltree
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+)
+
+// Validate checks that the document conforms to the DTD per the paper's
+// Section 2: the root carries the root type, every element's ordered
+// child-label sequence is in the language of its production, and text
+// nodes appear exactly where str productions demand them. It returns the
+// first violation found, or nil.
+func Validate(doc *Document, d *dtd.DTD) error {
+	if doc.Root.Kind != ElementNode || doc.Root.Label != d.Root() {
+		return fmt.Errorf("xmltree: root is %q, DTD requires %q", doc.Root.Label, d.Root())
+	}
+	var check func(n *Node) error
+	check = func(n *Node) error {
+		c, ok := d.Production(n.Label)
+		if !ok {
+			return fmt.Errorf("xmltree: element %s at %s is not declared in the DTD", n.Label, n.Path())
+		}
+		labels := n.ChildLabels()
+		if !c.MatchContent(labels) {
+			return dtd.FormatSeqError(n.Path(), c, labels)
+		}
+		if err := checkAttrs(n, d); err != nil {
+			return err
+		}
+		for _, child := range n.Children {
+			if child.Kind == TextNode {
+				continue
+			}
+			if err := check(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(doc.Root)
+}
+
+// checkAttrs validates an element's attributes: every attribute must be
+// declared and every required attribute present.
+func checkAttrs(n *Node, d *dtd.DTD) error {
+	for name := range n.Attrs {
+		if _, ok := d.Attr(n.Label, name); !ok {
+			return fmt.Errorf("xmltree: undeclared attribute %q on %s", name, n.Path())
+		}
+	}
+	for _, def := range d.Attlist(n.Label) {
+		if !def.Required {
+			continue
+		}
+		if _, ok := n.Attr(def.Name); !ok {
+			return fmt.Errorf("xmltree: required attribute %q missing on %s", def.Name, n.Path())
+		}
+	}
+	return nil
+}
+
+// Conforms reports whether the document conforms to the DTD.
+func Conforms(doc *Document, d *dtd.DTD) bool {
+	return Validate(doc, d) == nil
+}

@@ -1,0 +1,330 @@
+// Package xmltree provides the in-memory ordered XML document trees that
+// every other component of the system operates on: the XPath evaluator,
+// the view materializer, the document generator, and the naive baseline.
+//
+// A document is a tree of element and text nodes (attributes are carried
+// on elements; the paper's model omits them except for the naive
+// baseline's accessibility attribute). Nodes know their parent, their
+// ordered children, and their position in document order, which makes
+// ancestor checks and document-order sorting O(1) and O(n log n)
+// respectively.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind distinguishes element nodes from text (PCDATA) nodes.
+type NodeKind int
+
+const (
+	// ElementNode is an element labeled with an element type.
+	ElementNode NodeKind = iota
+	// TextNode is a leaf carrying PCDATA.
+	TextNode
+)
+
+// Node is a single node of an XML document tree.
+type Node struct {
+	Kind     NodeKind
+	Label    string // element type; "#text" for text nodes
+	Data     string // PCDATA for text nodes
+	Attrs    map[string]string
+	Parent   *Node
+	Children []*Node
+
+	ord  int // position in document order, assigned by Document.Renumber
+	desc int // number of descendants, assigned by Document.Renumber
+}
+
+// TextLabel is the label carried by text nodes.
+const TextLabel = "#text"
+
+// NewElement returns a parentless element node.
+func NewElement(label string) *Node {
+	return &Node{Kind: ElementNode, Label: label}
+}
+
+// NewText returns a parentless text node with the given PCDATA.
+func NewText(data string) *Node {
+	return &Node{Kind: TextNode, Label: TextLabel, Data: data}
+}
+
+// AppendChild adds c as the last child of n and sets c's parent.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// SetAttr sets an attribute on an element node.
+func (n *Node) SetAttr(name, value string) {
+	if n.Attrs == nil {
+		n.Attrs = make(map[string]string, 1)
+	}
+	n.Attrs[name] = value
+}
+
+// Attr returns the value of an attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	v, ok := n.Attrs[name]
+	return v, ok
+}
+
+// Ord returns the node's position in document order. It is only
+// meaningful after Document.Renumber (which NewDocument performs).
+func (n *Node) Ord() int { return n.ord }
+
+// DescendantCount returns the number of descendants (elements + text).
+// Like Ord it is only meaningful after Document.Renumber; the node's
+// subtree occupies the ord range [Ord, Ord+DescendantCount].
+func (n *Node) DescendantCount() int { return n.desc }
+
+// ContainsOrd reports whether a document-order position lies inside n's
+// subtree (n included). Only meaningful on a renumbered document.
+func (n *Node) ContainsOrd(ord int) bool {
+	return n.ord <= ord && ord <= n.ord+n.desc
+}
+
+// IsAncestorOf reports whether n is a strict ancestor of m.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for p := m.Parent; p != nil; p = p.Parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Text returns the concatenated PCDATA of the node's text children (for
+// elements) or the node's own data (for text nodes).
+func (n *Node) Text() string {
+	if n.Kind == TextNode {
+		return n.Data
+	}
+	var b strings.Builder
+	for _, c := range n.Children {
+		if c.Kind == TextNode {
+			b.WriteString(c.Data)
+		}
+	}
+	return b.String()
+}
+
+// ChildLabels returns the labels of the node's children in order, with
+// text children reported as TextLabel.
+func (n *Node) ChildLabels() []string {
+	labels := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		labels[i] = c.Label
+	}
+	return labels
+}
+
+// ElementChildren returns the node's element children in order.
+func (n *Node) ElementChildren() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Walk visits n and all its descendants in document order, stopping early
+// when f returns false for a node's subtree (the node's descendants are
+// skipped; the walk continues with siblings).
+func (n *Node) Walk(f func(*Node) bool) {
+	if !f(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// Clone deep-copies the subtree rooted at n. The copy has no parent and
+// unassigned document-order positions.
+func (n *Node) Clone() *Node {
+	cp := &Node{Kind: n.Kind, Label: n.Label, Data: n.Data}
+	if n.Attrs != nil {
+		cp.Attrs = make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
+	cp.Children = make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		cc := c.Clone()
+		cc.Parent = cp
+		cp.Children = append(cp.Children, cc)
+	}
+	return cp
+}
+
+// Path returns the label path from the document root to n, for error
+// messages and debugging.
+func (n *Node) Path() string {
+	var labels []string
+	for m := n; m != nil; m = m.Parent {
+		labels = append(labels, m.Label)
+	}
+	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	return "/" + strings.Join(labels, "/")
+}
+
+// Document is an XML document: a root element plus cached size and
+// document-order numbering.
+type Document struct {
+	Root *Node
+	size int
+}
+
+// NewDocument wraps a root node into a document and assigns document
+// order.
+func NewDocument(root *Node) *Document {
+	d := &Document{Root: root}
+	d.Renumber()
+	return d
+}
+
+// Renumber reassigns document-order positions and descendant counts
+// after tree mutation. A node's subtree occupies the contiguous ord range
+// [ord, ord+desc], which makes descendant tests O(1).
+func (d *Document) Renumber() {
+	n := 0
+	var walk func(node *Node) int
+	walk = func(node *Node) int {
+		node.ord = n
+		n++
+		total := 0
+		for _, c := range node.Children {
+			total += walk(c)
+		}
+		node.desc = total
+		return total + 1
+	}
+	walk(d.Root)
+	d.size = n
+}
+
+// Size returns the number of nodes in the document (elements + text).
+func (d *Document) Size() int { return d.size }
+
+// Height returns the number of edges on the longest root-to-leaf path.
+func (d *Document) Height() int {
+	var h func(*Node) int
+	h = func(n *Node) int {
+		max := 0
+		for _, c := range n.Children {
+			if d := h(c) + 1; d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	return h(d.Root)
+}
+
+// Stats summarizes a document for reporting.
+type Stats struct {
+	Nodes     int
+	Elements  int
+	TextNodes int
+	Height    int
+	Labels    map[string]int
+}
+
+// ComputeStats walks the document once and returns its statistics.
+func (d *Document) ComputeStats() Stats {
+	s := Stats{Labels: make(map[string]int)}
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		s.Nodes++
+		if depth > s.Height {
+			s.Height = depth
+		}
+		if n.Kind == ElementNode {
+			s.Elements++
+			s.Labels[n.Label]++
+		} else {
+			s.TextNodes++
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(d.Root, 0)
+	return s
+}
+
+// SortDocOrder sorts nodes in place by document order and removes
+// duplicates. All nodes must belong to the same renumbered document.
+func SortDocOrder(nodes []*Node) []*Node {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ord < nodes[j].ord })
+	out := nodes[:0]
+	var prev *Node
+	for _, n := range nodes {
+		if n != prev {
+			out = append(out, n)
+		}
+		prev = n
+	}
+	return out
+}
+
+// String renders the subtree rooted at n as indented XML (see
+// serialize.go for the full document serializer).
+func (n *Node) String() string {
+	var b strings.Builder
+	writeNode(&b, n, 0)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.Kind == TextNode {
+		fmt.Fprintf(b, "%s%s\n", indent, escapeText(n.Data))
+		return
+	}
+	b.WriteString(indent)
+	b.WriteByte('<')
+	b.WriteString(n.Label)
+	writeAttrs(b, n)
+	if len(n.Children) == 0 {
+		b.WriteString("/>\n")
+		return
+	}
+	if len(n.Children) == 1 && n.Children[0].Kind == TextNode {
+		fmt.Fprintf(b, ">%s</%s>\n", escapeText(n.Children[0].Data), n.Label)
+		return
+	}
+	b.WriteString(">\n")
+	for _, c := range n.Children {
+		writeNode(b, c, depth+1)
+	}
+	fmt.Fprintf(b, "%s</%s>\n", indent, n.Label)
+}
+
+func writeAttrs(b *strings.Builder, n *Node) {
+	if len(n.Attrs) == 0 {
+		return
+	}
+	names := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(b, " %s=%q", k, n.Attrs[k])
+	}
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

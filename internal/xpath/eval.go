@@ -1,0 +1,133 @@
+package xpath
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Eval evaluates the query at a single context node and returns the
+// selected nodes in document order without duplicates (the paper's v⟦p⟧).
+// The query must not contain unbound variables; bind them first with
+// BindVars.
+func Eval(p Path, ctx *xmltree.Node) []*xmltree.Node {
+	return EvalAt(p, []*xmltree.Node{ctx})
+}
+
+// EvalAt evaluates the query at a set of context nodes and returns the
+// union of the per-node results in document order without duplicates.
+func EvalAt(p Path, ctx []*xmltree.Node) []*xmltree.Node {
+	out := evalPath(p, ctx)
+	return xmltree.SortDocOrder(out)
+}
+
+// EvalDoc evaluates a query over a whole document, using the document
+// root as the context node. Queries written with a leading '/' or '//'
+// behave as in standard XPath because Parse treats the root element as
+// the context: //a finds every a including the root itself.
+func EvalDoc(p Path, doc *xmltree.Document) []*xmltree.Node {
+	return Eval(p, doc.Root)
+}
+
+func evalPath(p Path, ctx []*xmltree.Node) []*xmltree.Node {
+	if len(ctx) == 0 {
+		return nil
+	}
+	switch p := p.(type) {
+	case Empty:
+		return nil
+	case Self:
+		return append([]*xmltree.Node(nil), ctx...)
+	case Label:
+		var out []*xmltree.Node
+		for _, v := range ctx {
+			for _, c := range v.Children {
+				if c.Label == p.Name {
+					out = append(out, c)
+				}
+			}
+		}
+		return out
+	case Wildcard:
+		var out []*xmltree.Node
+		for _, v := range ctx {
+			for _, c := range v.Children {
+				if c.Kind == xmltree.ElementNode {
+					out = append(out, c)
+				}
+			}
+		}
+		return out
+	case Seq:
+		mid := xmltree.SortDocOrder(evalPath(p.Left, ctx))
+		return evalPath(p.Right, mid)
+	case Descend:
+		// descendant-or-self, then p.Sub.
+		var dos []*xmltree.Node
+		seen := make(map[*xmltree.Node]bool)
+		for _, v := range ctx {
+			v.Walk(func(n *xmltree.Node) bool {
+				if seen[n] {
+					return false
+				}
+				seen[n] = true
+				dos = append(dos, n)
+				return true
+			})
+		}
+		dos = xmltree.SortDocOrder(dos)
+		return evalPath(p.Sub, dos)
+	case Union:
+		left := evalPath(p.Left, ctx)
+		right := evalPath(p.Right, ctx)
+		return append(left, right...)
+	case Qualified:
+		mid := xmltree.SortDocOrder(evalPath(p.Sub, ctx))
+		var out []*xmltree.Node
+		for _, v := range mid {
+			if EvalQual(p.Cond, v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("xpath: evalPath: unknown path node %T", p))
+	}
+}
+
+// EvalQual evaluates a qualifier at a context node (the paper's "[q]
+// holds at v").
+func EvalQual(q Qual, v *xmltree.Node) bool {
+	switch q := q.(type) {
+	case QTrue:
+		return true
+	case QFalse:
+		return false
+	case QPath:
+		return len(evalPath(q.Path, []*xmltree.Node{v})) > 0
+	case QEq:
+		if q.Var != "" {
+			panic(fmt.Sprintf("xpath: unbound variable $%s in qualifier", q.Var))
+		}
+		for _, n := range evalPath(q.Path, []*xmltree.Node{v}) {
+			if n.Text() == q.Value {
+				return true
+			}
+		}
+		return false
+	case QAttrEq:
+		val, ok := v.Attr(q.Name)
+		return ok && val == q.Value
+	case QAttrHas:
+		_, ok := v.Attr(q.Name)
+		return ok
+	case QAnd:
+		return EvalQual(q.Left, v) && EvalQual(q.Right, v)
+	case QOr:
+		return EvalQual(q.Left, v) || EvalQual(q.Right, v)
+	case QNot:
+		return !EvalQual(q.Sub, v)
+	default:
+		panic(fmt.Sprintf("xpath: EvalQual: unknown qualifier node %T", q))
+	}
+}

@@ -1,0 +1,256 @@
+package xpath
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Index is a per-document label index: for each element label (and the
+// text pseudo-label) the document's nodes in document order. It speeds up
+// descendant steps the way the paper's "state-of-the-art" evaluator [17]
+// avoids full scans: //l becomes an index lookup plus an ancestor filter
+// instead of a subtree walk. Build one per document and reuse it across
+// queries; it becomes stale if the document mutates.
+type Index struct {
+	doc     *xmltree.Document
+	byLabel map[string][]*xmltree.Node
+}
+
+// NewIndex builds the label index in one walk.
+func NewIndex(doc *xmltree.Document) *Index {
+	idx := &Index{doc: doc, byLabel: make(map[string][]*xmltree.Node)}
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		idx.byLabel[n.Label] = append(idx.byLabel[n.Label], n)
+		return true
+	})
+	return idx
+}
+
+// Doc returns the indexed document.
+func (idx *Index) Doc() *xmltree.Document { return idx.doc }
+
+// Labeled returns all nodes with the given label in document order. The
+// slice is shared; callers must not mutate it.
+func (idx *Index) Labeled(label string) []*xmltree.Node {
+	return idx.byLabel[label]
+}
+
+// EvalIndexed evaluates a query at the document root using the index.
+// Results are identical to EvalDoc.
+func EvalIndexed(p Path, idx *Index) []*xmltree.Node {
+	return EvalIndexedAt(p, idx, []*xmltree.Node{idx.doc.Root})
+}
+
+// EvalIndexedAt evaluates at a set of context nodes using the index.
+func EvalIndexedAt(p Path, idx *Index, ctx []*xmltree.Node) []*xmltree.Node {
+	e := indexedEvaluator{idx: idx}
+	return xmltree.SortDocOrder(e.eval(p, ctx))
+}
+
+type indexedEvaluator struct {
+	idx *Index
+}
+
+func (e indexedEvaluator) eval(p Path, ctx []*xmltree.Node) []*xmltree.Node {
+	if len(ctx) == 0 {
+		return nil
+	}
+	switch p := p.(type) {
+	case Empty:
+		return nil
+	case Self:
+		return append([]*xmltree.Node(nil), ctx...)
+	case Label:
+		var out []*xmltree.Node
+		for _, v := range ctx {
+			for _, c := range v.Children {
+				if c.Label == p.Name {
+					out = append(out, c)
+				}
+			}
+		}
+		return out
+	case Wildcard:
+		var out []*xmltree.Node
+		for _, v := range ctx {
+			for _, c := range v.Children {
+				if c.Kind == xmltree.ElementNode {
+					out = append(out, c)
+				}
+			}
+		}
+		return out
+	case Seq:
+		mid := xmltree.SortDocOrder(e.eval(p.Left, ctx))
+		return e.eval(p.Right, mid)
+	case Descend:
+		// The index shortcut: //l and //l[...] pull the label's posting
+		// list and keep entries with an ancestor-or-self in the context.
+		if hit, ok := e.descendViaIndex(p.Sub, ctx); ok {
+			return hit
+		}
+		var dos []*xmltree.Node
+		seen := make(map[*xmltree.Node]bool)
+		for _, v := range ctx {
+			v.Walk(func(n *xmltree.Node) bool {
+				if seen[n] {
+					return false
+				}
+				seen[n] = true
+				dos = append(dos, n)
+				return true
+			})
+		}
+		dos = xmltree.SortDocOrder(dos)
+		return e.eval(p.Sub, dos)
+	case Union:
+		return append(e.eval(p.Left, ctx), e.eval(p.Right, ctx)...)
+	case Qualified:
+		mid := xmltree.SortDocOrder(e.eval(p.Sub, ctx))
+		var out []*xmltree.Node
+		for _, v := range mid {
+			if e.evalQual(p.Cond, v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// descendViaIndex answers //sub when sub starts with a label step:
+// posting-list lookup + ord-range context filter + evaluation of the
+// remaining steps. ok is false when sub's head is not index-friendly or
+// when walking the context subtrees is estimated cheaper than scanning
+// the posting list (an index lookup inside a per-node qualifier would
+// otherwise scan a global list for every candidate node).
+func (e indexedEvaluator) descendViaIndex(sub Path, ctx []*xmltree.Node) ([]*xmltree.Node, bool) {
+	head, rest := splitHead(sub)
+	label, ok := head.(Label)
+	if !ok {
+		return nil, false
+	}
+	candidates := e.idx.Labeled(label.Name)
+	if len(candidates) == 0 {
+		return nil, true
+	}
+	// Selectivity heuristic: the walk visits every context-subtree node
+	// once; the index path scans the whole posting list. Prefer the walk
+	// when the subtrees are smaller.
+	subtree := 0
+	for _, v := range ctx {
+		subtree += v.DescendantCount() + 1
+	}
+	if subtree < len(candidates) {
+		return nil, false
+	}
+	matched := e.underContext(candidates, ctx)
+	if rest == nil {
+		return matched, true
+	}
+	return e.eval(rest, xmltree.SortDocOrder(matched)), true
+}
+
+// underContext filters candidates whose parent lies at-or-under one of
+// the context nodes, using the contiguous ord ranges of subtrees:
+// contexts are sorted by ord, and a candidate parent belongs to the last
+// context starting at or before it iff that context's range covers it.
+func (e indexedEvaluator) underContext(candidates, ctx []*xmltree.Node) []*xmltree.Node {
+	if len(ctx) == 1 && ctx[0] == e.idx.doc.Root {
+		// Whole-document queries: every candidate except the root itself
+		// has a parent under the root.
+		var out []*xmltree.Node
+		for _, c := range candidates {
+			if c.Parent != nil {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	sorted := xmltree.SortDocOrder(append([]*xmltree.Node(nil), ctx...))
+	// Coverage test via prefix maxima: some context covers ord iff among
+	// contexts starting at or before ord, the furthest-reaching subtree
+	// end reaches ord.
+	maxEnd := make([]int, len(sorted))
+	for i, v := range sorted {
+		end := v.Ord() + v.DescendantCount()
+		if i > 0 && maxEnd[i-1] > end {
+			end = maxEnd[i-1]
+		}
+		maxEnd[i] = end
+	}
+	var out []*xmltree.Node
+	for _, c := range candidates {
+		if c.Parent == nil {
+			continue
+		}
+		ord := c.Parent.Ord()
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Ord() > ord }) - 1
+		if i >= 0 && maxEnd[i] >= ord {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// splitHead splits a path into its first step and the remainder (nil when
+// the path is a single step). Sequences are left-deep, so the head is the
+// leftmost non-Seq node.
+func splitHead(p Path) (Path, Path) {
+	seq, ok := p.(Seq)
+	if !ok {
+		return p, nil
+	}
+	head, mid := splitHead(seq.Left)
+	if mid == nil {
+		return head, seq.Right
+	}
+	return head, Seq{Left: mid, Right: seq.Right}
+}
+
+func (e indexedEvaluator) evalQual(q Qual, v *xmltree.Node) bool {
+	switch q := q.(type) {
+	case QTrue:
+		return true
+	case QFalse:
+		return false
+	case QPath:
+		return len(e.eval(q.Path, []*xmltree.Node{v})) > 0
+	case QEq:
+		if q.Var != "" {
+			panic("xpath: unbound variable $" + q.Var + " in qualifier")
+		}
+		for _, n := range e.eval(q.Path, []*xmltree.Node{v}) {
+			if n.Text() == q.Value {
+				return true
+			}
+		}
+		return false
+	case QAttrEq:
+		val, ok := v.Attr(q.Name)
+		return ok && val == q.Value
+	case QAttrHas:
+		_, ok := v.Attr(q.Name)
+		return ok
+	case QAnd:
+		return e.evalQual(q.Left, v) && e.evalQual(q.Right, v)
+	case QOr:
+		return e.evalQual(q.Left, v) || e.evalQual(q.Right, v)
+	case QNot:
+		return !e.evalQual(q.Sub, v)
+	default:
+		return false
+	}
+}
+
+// Ensure deterministic iteration in tests that inspect the index.
+func (idx *Index) labels() []string {
+	out := make([]string, 0, len(idx.byLabel))
+	for l := range idx.byLabel {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

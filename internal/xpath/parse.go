@@ -1,0 +1,420 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse reads a query of the fragment C from its concrete syntax.
+//
+// Syntax summary:
+//
+//	.                    the empty path ε (context node)
+//	name                 child-axis label step (names may contain -._)
+//	*                    child-axis wildcard
+//	text()               child-axis text-node step
+//	p/p, //p, p//p       composition and descendant-or-self
+//	p | p                union
+//	p[q]                 qualifier
+//	∅                    the empty query
+//
+// and inside qualifiers:
+//
+//	p, p = "c", p = $var, q and q, q or q, not(q),
+//	true(), false(), @name = "v"
+//
+// A single leading '/' is accepted and ignored: queries are evaluated at a
+// context node (the root for whole-document queries), so /a/b ≡ a/b.
+func Parse(src string) (Path, error) {
+	p := &parser{src: src}
+	path, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("xpath: trailing input %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return path, nil
+}
+
+// MustParse parses a trusted query and panics on error.
+func MustParse(src string) Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseQual parses a bare qualifier (the part between brackets).
+func ParseQual(src string) (Qual, error) {
+	p := &parser{src: src}
+	q, err := p.parseQualOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("xpath: trailing input %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return q, nil
+}
+
+// MustParseQual parses a trusted qualifier and panics on error.
+func MustParseQual(src string) Qual {
+	q, err := ParseQual(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		r, w := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !unicode.IsSpace(r) {
+			return
+		}
+		p.pos += w
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath: %s (offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+// parseUnion := parseSeq ('|' parseSeq)*
+func (p *parser) parseUnion() (Path, error) {
+	left, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		left = Union{Left: left, Right: right}
+	}
+}
+
+// parseSeq := ['/'|'//'] step (('/'|'//') step)*
+func (p *parser) parseSeq() (Path, error) {
+	p.skipSpace()
+	// Leading // : descendant from the context; leading / is ignored (see
+	// Parse doc comment).
+	if strings.HasPrefix(p.src[p.pos:], "//") {
+		p.pos += 2
+		rest, err := p.parseSeqAfterSlash()
+		if err != nil {
+			return nil, err
+		}
+		return Descend{Sub: rest}, nil
+	}
+	if p.peek() == '/' {
+		p.pos++
+	}
+	return p.parseSeqAfterSlash()
+}
+
+// parseSeqAfterSlash parses step (('/'|'//') step)* with the first step
+// mandatory.
+func (p *parser) parseSeqAfterSlash() (Path, error) {
+	left, err := p.parseStep()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.src[p.pos:], "//") {
+			p.pos += 2
+			right, err := p.parseStep()
+			if err != nil {
+				return nil, err
+			}
+			// Build the remainder of the sequence onto the descend target so
+			// a//b/c parses as a/(//(b/c))? No: keep left-assoc a//b then /c.
+			left = Seq{Left: left, Right: Descend{Sub: right}}
+			continue
+		}
+		if p.peek() == '/' {
+			p.pos++
+			right, err := p.parseStep()
+			if err != nil {
+				return nil, err
+			}
+			left = Seq{Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+// parseStep := primary ('[' qual ']')*
+func (p *parser) parseStep() (Path, error) {
+	prim, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '[' {
+			return prim, nil
+		}
+		p.pos++
+		q, err := p.parseQualOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ']' {
+			return nil, p.errf("expected ']'")
+		}
+		p.pos++
+		prim = Qualified{Sub: prim, Cond: q}
+	}
+}
+
+func (p *parser) parsePrimary() (Path, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '(':
+		p.pos++
+		inner, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return inner, nil
+	case p.peek() == '*':
+		p.pos++
+		return Wildcard{}, nil
+	case p.peek() == '.':
+		p.pos++
+		return Self{}, nil
+	case strings.HasPrefix(p.src[p.pos:], "∅"):
+		p.pos += len("∅")
+		return Empty{}, nil
+	default:
+		name := p.parseName()
+		if name == "" {
+			return nil, p.errf("expected a step")
+		}
+		if name == "text" && p.peek() == '(' && strings.HasPrefix(p.src[p.pos:], "()") {
+			p.pos += 2
+			return Label{Name: TextName}, nil
+		}
+		return Label{Name: name}, nil
+	}
+}
+
+// parseQualOr := parseQualAnd ('or' parseQualAnd)*
+func (p *parser) parseQualOr() (Qual, error) {
+	left, err := p.parseQualAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("or") {
+		right, err := p.parseQualAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = QOr{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseQualAnd := parseQualAtom ('and' parseQualAtom)*
+func (p *parser) parseQualAnd() (Qual, error) {
+	left, err := p.parseQualAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("and") {
+		right, err := p.parseQualAtom()
+		if err != nil {
+			return nil, err
+		}
+		left = QAnd{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseQualAtom() (Qual, error) {
+	p.skipSpace()
+	if p.eatKeyword("not") {
+		p.skipSpace()
+		if p.peek() != '(' {
+			return nil, p.errf("expected '(' after not")
+		}
+		p.pos++
+		inner, err := p.parseQualOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errf("expected ')' after not(...)")
+		}
+		p.pos++
+		return QNot{Sub: inner}, nil
+	}
+	if p.eatKeyword("true") {
+		if err := p.expectParens(); err != nil {
+			return nil, err
+		}
+		return QTrue{}, nil
+	}
+	if p.eatKeyword("false") {
+		if err := p.expectParens(); err != nil {
+			return nil, err
+		}
+		return QFalse{}, nil
+	}
+	if p.peek() == '@' {
+		p.pos++
+		name := p.parseName()
+		if name == "" {
+			return nil, p.errf("expected attribute name after '@'")
+		}
+		p.skipSpace()
+		if p.peek() != '=' {
+			return QAttrHas{Name: name}, nil
+		}
+		p.pos++
+		val, _, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return QAttrEq{Name: name, Value: val}, nil
+	}
+	if p.peek() == '(' {
+		// Could be a parenthesized qualifier or a parenthesized path.
+		// Try qualifier first; on failure fall back to a path atom.
+		save := p.pos
+		p.pos++
+		inner, err := p.parseQualOr()
+		if err == nil {
+			p.skipSpace()
+			if p.peek() == ')' {
+				p.pos++
+				// If an '=' or path continuation follows, the parentheses
+				// belonged to a path; re-parse as a path qualifier.
+				p.skipSpace()
+				if p.peek() != '=' && p.peek() != '/' && p.peek() != '[' {
+					return inner, nil
+				}
+			}
+		}
+		p.pos = save
+	}
+	path, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() == '=' {
+		p.pos++
+		val, varName, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return QEq{Path: path, Value: val, Var: varName}, nil
+	}
+	return QPath{Path: path}, nil
+}
+
+func (p *parser) expectParens() error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], "()") {
+		return p.errf("expected '()'")
+	}
+	p.pos += 2
+	return nil
+}
+
+// parseLiteral parses "str", 'str', $var, or a bare number/word constant.
+// It returns (value, varName).
+func (p *parser) parseLiteral() (string, string, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '"' || p.peek() == '\'':
+		quote := p.peek()
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos == len(p.src) {
+			return "", "", p.errf("unterminated string literal")
+		}
+		val := p.src[start:p.pos]
+		p.pos++
+		return val, "", nil
+	case p.peek() == '$':
+		p.pos++
+		name := p.parseName()
+		if name == "" {
+			return "", "", p.errf("expected variable name after '$'")
+		}
+		return "", name, nil
+	default:
+		word := p.parseName()
+		if word == "" {
+			return "", "", p.errf("expected a literal")
+		}
+		return word, "", nil
+	}
+}
+
+// eatKeyword consumes the keyword when it appears as a whole word at the
+// current position.
+func (p *parser) eatKeyword(kw string) bool {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	rest := p.src[p.pos+len(kw):]
+	if rest != "" && isNameByte(rest[0]) {
+		return false
+	}
+	p.pos += len(kw)
+	return true
+}
+
+func (p *parser) parseName() string {
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func isNameByte(c byte) bool {
+	return c == '-' || c == '_' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}

@@ -1,0 +1,155 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders a path in the concrete syntax accepted by Parse, so that
+// Parse(String(p)) is structurally equal to p up to associativity.
+func String(p Path) string {
+	var b strings.Builder
+	writePath(&b, p, precUnion)
+	return b.String()
+}
+
+// QualString renders a qualifier (without the surrounding brackets).
+func QualString(q Qual) string {
+	var b strings.Builder
+	writeQual(&b, q, qprecOr)
+	return b.String()
+}
+
+// Operator precedence levels for paths: union < seq < step.
+const (
+	precUnion = iota
+	precSeq
+	precStep
+)
+
+func writePath(b *strings.Builder, p Path, ctx int) {
+	switch p := p.(type) {
+	case Empty:
+		b.WriteString("∅")
+	case Self:
+		b.WriteString(".")
+	case Label:
+		if p.Name == TextName {
+			b.WriteString("text()")
+		} else {
+			b.WriteString(p.Name)
+		}
+	case Wildcard:
+		b.WriteString("*")
+	case Seq:
+		if ctx > precSeq {
+			b.WriteString("(")
+			writePath(b, p, precUnion)
+			b.WriteString(")")
+			return
+		}
+		// A Descend on the left must be parenthesized: "//a/b" re-parses as
+		// //(a/b), not (//a)/b.
+		if _, ok := p.Left.(Descend); ok {
+			b.WriteString("(")
+			writePath(b, p.Left, precUnion)
+			b.WriteString(")")
+		} else {
+			writePath(b, p.Left, precSeq)
+		}
+		// p1/(//p2) is rendered p1//p2.
+		if d, ok := p.Right.(Descend); ok {
+			b.WriteString("//")
+			writePath(b, d.Sub, precStep)
+			return
+		}
+		b.WriteString("/")
+		writePath(b, p.Right, precStep)
+	case Descend:
+		if ctx > precSeq {
+			b.WriteString("(")
+			writePath(b, p, precUnion)
+			b.WriteString(")")
+			return
+		}
+		b.WriteString("//")
+		writePath(b, p.Sub, precStep)
+	case Union:
+		if ctx > precUnion {
+			b.WriteString("(")
+			writePath(b, p, precUnion)
+			b.WriteString(")")
+			return
+		}
+		writePath(b, p.Left, precUnion)
+		b.WriteString(" | ")
+		// The parser is left-associative; parenthesize a right-nested union.
+		writePath(b, p.Right, precSeq)
+	case Qualified:
+		writePath(b, p.Sub, precStep)
+		b.WriteString("[")
+		writeQual(b, p.Cond, qprecOr)
+		b.WriteString("]")
+	default:
+		fmt.Fprintf(b, "<?path %T>", p)
+	}
+}
+
+// Qualifier precedence: or < and < not/atom.
+const (
+	qprecOr = iota
+	qprecAnd
+	qprecNot
+)
+
+func writeQual(b *strings.Builder, q Qual, ctx int) {
+	switch q := q.(type) {
+	case QTrue:
+		b.WriteString("true()")
+	case QFalse:
+		b.WriteString("false()")
+	case QPath:
+		writePath(b, q.Path, precUnion)
+	case QEq:
+		writePath(b, q.Path, precSeq)
+		b.WriteString(" = ")
+		if q.Var != "" {
+			b.WriteString("$")
+			b.WriteString(q.Var)
+		} else {
+			fmt.Fprintf(b, "%q", q.Value)
+		}
+	case QAttrEq:
+		fmt.Fprintf(b, "@%s = %q", q.Name, q.Value)
+	case QAttrHas:
+		fmt.Fprintf(b, "@%s", q.Name)
+	case QAnd:
+		if ctx > qprecAnd {
+			b.WriteString("(")
+			writeQual(b, q, qprecOr)
+			b.WriteString(")")
+			return
+		}
+		writeQual(b, q.Left, qprecAnd)
+		b.WriteString(" and ")
+		// The parser is left-associative; parenthesize a right-nested and.
+		writeQual(b, q.Right, qprecNot)
+	case QOr:
+		if ctx > qprecOr {
+			b.WriteString("(")
+			writeQual(b, q, qprecOr)
+			b.WriteString(")")
+			return
+		}
+		writeQual(b, q.Left, qprecOr)
+		b.WriteString(" or ")
+		// The parser is left-associative; parenthesize a right-nested or.
+		writeQual(b, q.Right, qprecAnd)
+	case QNot:
+		b.WriteString("not(")
+		writeQual(b, q.Sub, qprecOr)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "<?qual %T>", q)
+	}
+}

@@ -1,0 +1,61 @@
+package xpath
+
+// Simplify rewrites the query into an equivalent, usually smaller query
+// by applying the algebraic laws of the fragment:
+//
+//	∅ ∪ p ≡ p            p/∅ ≡ ∅/p ≡ ∅          //∅ ≡ ∅
+//	ε/p ≡ p/ε ≡ p        p ∪ p ≡ p
+//	p[true] ≡ p          p[false] ≡ ∅            ∅[q] ≡ ∅
+//	¬¬q ≡ q              true ∧ q ≡ q            false ∧ q ≡ false
+//	true ∨ q ≡ true      false ∨ q ≡ q           [∅] ≡ false
+//	(p1 ∪ p2)/p ≡ p1/p ∪ p2/p is NOT applied (it can grow the query).
+//
+// Rewriting and optimization call Simplify on their outputs so dead
+// branches introduced by mechanical construction disappear.
+func Simplify(p Path) Path {
+	switch p := p.(type) {
+	case Empty, Self, Label, Wildcard:
+		return p
+	case Seq:
+		return MakeSeq(Simplify(p.Left), Simplify(p.Right))
+	case Descend:
+		return MakeDescend(Simplify(p.Sub))
+	case Union:
+		return MakeUnion(Simplify(p.Left), Simplify(p.Right))
+	case Qualified:
+		return MakeQualified(Simplify(p.Sub), SimplifyQual(p.Cond))
+	default:
+		return p
+	}
+}
+
+// SimplifyQual applies the boolean and path laws inside a qualifier.
+func SimplifyQual(q Qual) Qual {
+	switch q := q.(type) {
+	case QTrue, QFalse, QAttrEq, QAttrHas:
+		return q
+	case QPath:
+		sub := Simplify(q.Path)
+		if IsEmpty(sub) {
+			return QFalse{}
+		}
+		if _, ok := sub.(Self); ok {
+			return QTrue{}
+		}
+		return QPath{Path: sub}
+	case QEq:
+		sub := Simplify(q.Path)
+		if IsEmpty(sub) {
+			return QFalse{}
+		}
+		return QEq{Path: sub, Value: q.Value, Var: q.Var}
+	case QAnd:
+		return MakeAnd(SimplifyQual(q.Left), SimplifyQual(q.Right))
+	case QOr:
+		return MakeOr(SimplifyQual(q.Left), SimplifyQual(q.Right))
+	case QNot:
+		return MakeNot(SimplifyQual(q.Sub))
+	default:
+		return q
+	}
+}

@@ -1,0 +1,169 @@
+package securexml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dtds"
+)
+
+const paperDoc = `
+<hospital>
+  <dept>
+    <clinicalTrial>
+      <patientInfo>
+        <patient><name>Carol</name><wardNo>6</wardNo>
+          <treatment><trial><bill>900</bill></trial></treatment>
+        </patient>
+      </patientInfo>
+    </clinicalTrial>
+    <patientInfo>
+      <patient><name>Alice</name><wardNo>6</wardNo>
+        <treatment><regular><bill>100</bill><medication>aspirin</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo><staff><nurse><name>Nina</name></nurse></staff></staffInfo>
+  </dept>
+  <dept>
+    <clinicalTrial><patientInfo></patientInfo></clinicalTrial>
+    <patientInfo>
+      <patient><name>Bob</name><wardNo>7</wardNo>
+        <treatment><regular><bill>70</bill><medication>ibuprofen</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo><staff><doctor><name>Dan</name></doctor></staff></staffInfo>
+  </dept>
+</hospital>
+`
+
+func nurseEngine(t *testing.T, ward string) *Engine {
+	t.Helper()
+	spec, err := dtds.NurseSpec().Bind(map[string]string{"wardNo": ward})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	e, err := NewEngine(spec)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+func TestEndToEndNurseQuery(t *testing.T) {
+	doc, err := ParseDocumentString(paperDoc)
+	if err != nil {
+		t.Fatalf("ParseDocumentString: %v", err)
+	}
+	if err := Validate(doc, dtds.Hospital()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	e := nurseEngine(t, "6")
+
+	nodes, err := e.QueryString(doc, "//patient/name")
+	if err != nil {
+		t.Fatalf("QueryString: %v", err)
+	}
+	var names []string
+	for _, n := range nodes {
+		names = append(names, n.Text())
+	}
+	if len(names) != 2 || names[0] != "Carol" || names[1] != "Alice" {
+		t.Errorf("nurse sees %v, want [Carol Alice]", names)
+	}
+
+	// Hidden labels are unreachable.
+	nodes, err = e.QueryString(doc, "//clinicalTrial | //trial | //regular")
+	if err != nil {
+		t.Fatalf("QueryString: %v", err)
+	}
+	if len(nodes) != 0 {
+		t.Errorf("hidden labels returned %d nodes", len(nodes))
+	}
+
+	// The view DTD exposes dummies, never the hidden names.
+	viewStr := e.ViewDTD().String()
+	for _, hidden := range []string{"clinicalTrial", "trial", "regular"} {
+		if strings.Contains(viewStr, hidden) {
+			t.Errorf("view DTD leaks %q:\n%s", hidden, viewStr)
+		}
+	}
+	if !strings.Contains(viewStr, "dummy1") {
+		t.Errorf("view DTD missing dummy labels:\n%s", viewStr)
+	}
+
+	if err := e.Audit(doc); err != nil {
+		t.Errorf("Audit: %v", err)
+	}
+}
+
+func TestEngineRejectsUnboundSpec(t *testing.T) {
+	if _, err := NewEngine(dtds.NurseSpec()); err == nil {
+		t.Errorf("unbound spec accepted")
+	}
+}
+
+func TestEngineMaterialize(t *testing.T) {
+	doc, _ := ParseDocumentString(paperDoc)
+	e := nurseEngine(t, "7")
+	m, err := e.Materialize(doc)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if err := Validate(m.View, e.ViewDTD()); err != nil {
+		t.Errorf("materialized view invalid: %v", err)
+	}
+	nodes := Eval(mustParse(t, "//patient/name"), m.View)
+	if len(nodes) != 1 || nodes[0].Text() != "Bob" {
+		t.Errorf("ward-7 view patients wrong")
+	}
+}
+
+func TestEngineRecursiveView(t *testing.T) {
+	e, err := NewEngine(dtds.Fig7Spec())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if !e.View().IsRecursive() {
+		t.Fatalf("Fig7 view not recursive")
+	}
+	doc, err := ParseDocumentString(`<a><b>1</b><c><a><b>2</b><c/></a></c></a>`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	nodes, err := e.QueryString(doc, "//b")
+	if err != nil {
+		t.Fatalf("QueryString: %v", err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("//b over recursive view returned %d nodes, want 2", len(nodes))
+	}
+}
+
+func TestFacadeParsers(t *testing.T) {
+	if _, err := ParseDTD("root a\na -> #PCDATA\n"); err != nil {
+		t.Errorf("ParseDTD: %v", err)
+	}
+	if _, err := ParseElementDTD("<!ELEMENT a (#PCDATA)>"); err != nil {
+		t.Errorf("ParseElementDTD: %v", err)
+	}
+	d, _ := ParseDTD("root a\na -> b\nb -> #PCDATA\n")
+	if _, err := ParseSpec(d, "ann(a, b) = N\n"); err != nil {
+		t.Errorf("ParseSpec: %v", err)
+	}
+	p, err := ParseQuery("//a[b = \"1\"]")
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	if QueryString(p) == "" {
+		t.Errorf("QueryString empty")
+	}
+}
+
+func mustParse(t *testing.T, q string) Path {
+	t.Helper()
+	p, err := ParseQuery(q)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", q, err)
+	}
+	return p
+}
