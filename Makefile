@@ -1,0 +1,20 @@
+# Developer targets. `make check` is the tier-1 verification extension
+# recorded in ROADMAP.md: build, vet, and the full test suite under the
+# race detector (the concurrent query-serving layer must stay race-free).
+
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 100x .

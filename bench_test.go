@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"repro/internal/access"
+	"repro/internal/core"
 	"repro/internal/dtd"
 	"repro/internal/dtds"
 	"repro/internal/naive"
@@ -392,6 +393,152 @@ func BenchmarkEnforcement(b *testing.B) {
 			xpath.EvalDoc(pn, doc)
 		}
 	})
+}
+
+// ---------- plan cache: cached vs uncached query serving ----------
+
+// BenchmarkPlanCache measures what the engine's plan cache buys on a
+// repeated query: "cold" rebuilds the engine each round (every query
+// re-rewrites and re-optimizes), "warm" reuses one engine whose cache
+// serves the plan after the first round.
+func BenchmarkPlanCache(b *testing.B) {
+	spec, err := dtds.NurseSpec().Bind(map[string]string{"wardNo": "1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := dtds.GenerateHospital(21, 8)
+	const query = "//patient[wardNo]/name"
+	p := xpath.MustParse(query)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := core.New(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Query(doc, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e, err := core.New(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query(doc, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s := e.Stats()
+		if s.PlanCache.Hits == 0 && b.N > 1 {
+			b.Fatalf("warm path never hit the plan cache: %+v", s.PlanCache)
+		}
+		b.ReportMetric(float64(s.PlanCache.Hits), "hits")
+	})
+	// Rewrite+optimize alone, for scale: this is the work a hit skips.
+	b.Run("rewrite-optimize-only", func(b *testing.B) {
+		e, err := core.New(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			pt, err := e.Rewrite(p, doc.Height())
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Optimize(pt)
+		}
+	})
+}
+
+// BenchmarkPlanCacheRecursive is the same comparison on a recursive
+// view, where a miss additionally pays the per-height unfolding.
+func BenchmarkPlanCacheRecursive(b *testing.B) {
+	p := xpath.MustParse("//b")
+	var build func(d int) *xmltree.Node
+	build = func(d int) *xmltree.Node {
+		if d == 0 {
+			return xmltree.E("a", xmltree.T("b", "leaf"), xmltree.E("c"))
+		}
+		return xmltree.E("a", xmltree.T("b", "x"), xmltree.E("c", build(d-1)))
+	}
+	doc := xmltree.NewDocument(build(24))
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := core.New(dtds.Fig7Spec())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Query(doc, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e, err := core.New(dtds.Fig7Spec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query(doc, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------- parallel evaluation: sequential vs worker pool ----------
+
+// BenchmarkParallelEval compares the sequential evaluator with the
+// worker-pool evaluator on union-heavy and descendant-heavy queries
+// over documents of increasing size.
+func BenchmarkParallelEval(b *testing.B) {
+	spec := dtds.AdexSpec()
+	view, err := secview.Derive(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rw, err := rewrite.ForView(view)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := optimize.New(dtds.Adex())
+	queries := map[string]string{
+		"Q1": dtds.AdexQueries["Q1"],
+		"Q4": dtds.AdexQueries["Q4"],
+	}
+	for _, size := range []struct {
+		name      string
+		maxRepeat int
+	}{{"small", 400}, {"large", 3200}} {
+		doc := dtds.GenerateAdex(5, size.maxRepeat)
+		for qname, q := range queries {
+			pt, err := rw.Rewrite(xpath.MustParse(q))
+			if err != nil {
+				b.Fatal(err)
+			}
+			po := opt.Optimize(pt)
+			b.Run(fmt.Sprintf("%s/%s/sequential", qname, size.name), func(b *testing.B) {
+				b.ReportMetric(float64(doc.Size()), "docnodes")
+				for i := 0; i < b.N; i++ {
+					if _, err := xpath.EvalDocErr(po, doc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			for _, workers := range []int{2, 4} {
+				b.Run(fmt.Sprintf("%s/%s/parallel-%d", qname, size.name, workers), func(b *testing.B) {
+					cfg := xpath.ParallelConfig{Workers: workers}
+					for i := 0; i < b.N; i++ {
+						if _, err := xpath.EvalDocParallel(po, doc, cfg, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
 }
 
 // ---------- generator throughput ----------

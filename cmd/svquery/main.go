@@ -12,7 +12,10 @@
 //
 // Flags -show-rewrite and -show-optimize print the intermediate queries;
 // -no-optimize skips the optimization pass; -indexed evaluates with the
-// label-index evaluator.
+// label-index evaluator; -parallel evaluates with the worker-pool
+// evaluator (-workers bounds it); -stats prints the engine's plan-cache
+// and evaluation counters to stderr; -repeat re-runs the query to
+// exercise the plan cache.
 package main
 
 import (
@@ -39,6 +42,10 @@ func main() {
 		showOpt    = flag.Bool("show-optimize", false, "print the optimized document query")
 		noOptimize = flag.Bool("no-optimize", false, "skip the DTD-based optimization pass")
 		indexed    = flag.Bool("indexed", false, "evaluate with the label-index evaluator")
+		parallel   = flag.Bool("parallel", false, "evaluate with the parallel worker-pool evaluator")
+		workers    = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		stats      = flag.Bool("stats", false, "print plan-cache and evaluation counters to stderr")
+		repeat     = flag.Int("repeat", 1, "run the query this many times (repeats hit the plan cache)")
 		params     cli.Params
 	)
 	flag.Var(&params, "param", "bind a specification parameter, e.g. -param wardNo=6 (repeatable)")
@@ -47,7 +54,14 @@ func main() {
 	if *query == "" || *docPath == "" {
 		fatal(fmt.Errorf("need -q and -doc"))
 	}
-	engine, err := buildEngine(*viewPath, *builtin, *dtdPath, *specPath, params)
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	cfg := core.Config{
+		Parallel:       *parallel,
+		ParallelConfig: xpath.ParallelConfig{Workers: *workers},
+	}
+	engine, err := buildEngine(*viewPath, *builtin, *dtdPath, *specPath, params, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,32 +83,76 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pt, err := engine.Rewrite(p, doc.Height())
-	if err != nil {
-		fatal(err)
-	}
-	if *showRw {
-		fmt.Fprintf(os.Stderr, "rewritten: %s\n", xpath.String(pt))
-	}
-	final := pt
-	if !*noOptimize {
-		final = engine.Optimize(pt)
-		if *showOpt {
-			fmt.Fprintf(os.Stderr, "optimized: %s\n", xpath.String(final))
+	if *showRw || *showOpt || *noOptimize || *indexed {
+		pt, err := engine.Rewrite(p, doc.Height())
+		if err != nil {
+			fatal(err)
+		}
+		if *showRw {
+			fmt.Fprintf(os.Stderr, "rewritten: %s\n", xpath.String(pt))
+		}
+		final := pt
+		if !*noOptimize {
+			final = engine.Optimize(pt)
+			if *showOpt {
+				fmt.Fprintf(os.Stderr, "optimized: %s\n", xpath.String(final))
+			}
+		}
+		if *noOptimize || *indexed {
+			var result []*xmltree.Node
+			var evalStats xpath.ParallelStats
+			switch {
+			case *indexed:
+				result = xpath.EvalIndexed(final, xpath.NewIndex(doc))
+			case *parallel:
+				if result, err = xpath.EvalDocParallel(final, doc, cfg.ParallelConfig, &evalStats); err != nil {
+					fatal(err)
+				}
+			default:
+				if result, err = xpath.EvalDocErr(final, doc); err != nil {
+					fatal(err)
+				}
+			}
+			printResult(result)
+			if *stats {
+				seq, par, forks, parts := evalStats.Snapshot()
+				fmt.Fprintf(os.Stderr, "evaluation:   %d sequential, %d parallel (%d union forks, %d partitions)\n",
+					seq, par, forks, parts)
+			}
+			return
 		}
 	}
 	var result []*xmltree.Node
-	if *indexed {
-		result = xpath.EvalIndexed(final, xpath.NewIndex(doc))
-	} else {
-		result = xpath.EvalDoc(final, doc)
+	for i := 0; i < *repeat; i++ {
+		if result, err = engine.Query(doc, p); err != nil {
+			fatal(err)
+		}
 	}
+	printResult(result)
+	printStats(engine, *stats)
+}
+
+func printResult(result []*xmltree.Node) {
 	for _, n := range result {
 		fmt.Print(n.String())
 	}
 }
 
-func buildEngine(viewPath, builtin, dtdPath, specPath string, params cli.Params) (*core.Engine, error) {
+func printStats(engine *core.Engine, show bool) {
+	if !show {
+		return
+	}
+	s := engine.Stats()
+	fmt.Fprintf(os.Stderr, "queries:      %d\n", s.Queries)
+	fmt.Fprintf(os.Stderr, "plan cache:   %d hits, %d misses, %d evictions, %d/%d entries\n",
+		s.PlanCache.Hits, s.PlanCache.Misses, s.PlanCache.Evictions, s.PlanCache.Entries, s.PlanCache.Capacity)
+	fmt.Fprintf(os.Stderr, "height cache: %d hits, %d misses, %d evictions, %d/%d entries\n",
+		s.HeightCache.Hits, s.HeightCache.Misses, s.HeightCache.Evictions, s.HeightCache.Entries, s.HeightCache.Capacity)
+	fmt.Fprintf(os.Stderr, "evaluation:   %d sequential, %d parallel (%d union forks, %d partitions)\n",
+		s.SequentialEvals, s.ParallelEvals, s.UnionForks, s.Partitions)
+}
+
+func buildEngine(viewPath, builtin, dtdPath, specPath string, params cli.Params, cfg core.Config) (*core.Engine, error) {
 	if viewPath != "" {
 		data, err := os.ReadFile(viewPath)
 		if err != nil {
@@ -104,7 +162,7 @@ func buildEngine(viewPath, builtin, dtdPath, specPath string, params cli.Params)
 		if err != nil {
 			return nil, err
 		}
-		return core.FromView(view)
+		return core.FromViewConfig(view, cfg)
 	}
 	spec, err := cli.LoadSpec(builtin, dtdPath, specPath)
 	if err != nil {
@@ -113,7 +171,7 @@ func buildEngine(viewPath, builtin, dtdPath, specPath string, params cli.Params)
 	if spec, err = cli.BindIfNeeded(spec, params); err != nil {
 		return nil, err
 	}
-	return core.New(spec)
+	return core.NewWithConfig(spec, cfg)
 }
 
 func fatal(err error) {

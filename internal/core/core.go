@@ -5,41 +5,103 @@
 // (package rewrite), optionally optimized against the document DTD
 // (package optimize), and evaluated over the original document (package
 // xpath) — the view itself is never materialized on the query path.
+//
+// On top of the paper's pipeline the engine adds a serving layer:
+// rewritten-and-optimized plans are kept in a bounded LRU plan cache
+// keyed by (query text, height class), so repeated queries skip the
+// rewrite and optimize stages entirely; recursive views' per-height
+// rewriters live in a second bounded cache so adversarial height
+// profiles cannot grow memory without limit; and evaluation can fan out
+// over a worker pool for large documents (Config.Parallel).
 package core
 
 import (
 	"fmt"
-	"sync"
+	"strconv"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/dtd"
 	"repro/internal/optimize"
+	"repro/internal/plancache"
 	"repro/internal/rewrite"
 	"repro/internal/secview"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
 
+// Default capacities for the engine's two caches. Plans are small (an
+// AST per entry); per-height rewriters embed an unfolded DTD and are
+// bigger, so their cache is tighter.
+const (
+	DefaultPlanCacheCapacity   = 512
+	DefaultHeightCacheCapacity = 64
+)
+
+// Config tunes an engine's serving layer. The zero value gives the
+// defaults: bounded caches, sequential evaluation.
+type Config struct {
+	// PlanCacheCapacity bounds the (query, height class) → Prepared
+	// cache. 0 means DefaultPlanCacheCapacity.
+	PlanCacheCapacity int
+	// HeightCacheCapacity bounds the per-height rewriter cache used by
+	// recursive views. 0 means DefaultHeightCacheCapacity.
+	HeightCacheCapacity int
+	// Parallel turns on parallel evaluation for Query/QueryString:
+	// union branches fan out and large descendant context sets are
+	// partitioned over a worker pool (see xpath.EvalDocParallel).
+	Parallel bool
+	// ParallelConfig tunes the worker pool when Parallel is set.
+	ParallelConfig xpath.ParallelConfig
+}
+
+func (c Config) planCap() int {
+	if c.PlanCacheCapacity > 0 {
+		return c.PlanCacheCapacity
+	}
+	return DefaultPlanCacheCapacity
+}
+
+func (c Config) heightCap() int {
+	if c.HeightCacheCapacity > 0 {
+		return c.HeightCacheCapacity
+	}
+	return DefaultHeightCacheCapacity
+}
+
 // Engine enforces one access policy: it owns the derived security view
 // and the per-view rewriting and optimization state. An Engine is cheap
 // to keep around and reuse across documents and queries; build one per
-// (policy, parameter binding) pair.
+// (policy, parameter binding) pair. All methods are safe for concurrent
+// use.
 type Engine struct {
 	spec *access.Spec
 	view *secview.View
 	opt  *optimize.Optimizer
+	cfg  Config
 
 	// flat is the rewriter for non-recursive views; recursive views get
-	// per-height rewriters built on demand (Section 4.2), guarded by mu so
-	// an Engine is safe for concurrent use.
+	// per-height rewriters built on demand (Section 4.2) and kept in the
+	// bounded byHeight cache.
 	flat     *rewrite.Rewriter
-	mu       sync.Mutex
-	byHeight map[int]*rewrite.Rewriter
+	byHeight *plancache.Cache[*rewrite.Rewriter]
+
+	// plans caches rewritten-and-optimized queries by (query text,
+	// height class) so repeated queries skip rewrite+optimize.
+	plans *plancache.Cache[*Prepared]
+
+	queries   atomic.Uint64
+	evalStats xpath.ParallelStats
 }
 
 // New derives the security view for a bound access specification (no
-// free $parameters) and prepares the engine.
+// free $parameters) and prepares the engine with the default Config.
 func New(spec *access.Spec) (*Engine, error) {
+	return NewWithConfig(spec, Config{})
+}
+
+// NewWithConfig is New with explicit serving-layer tuning.
+func NewWithConfig(spec *access.Spec, cfg Config) (*Engine, error) {
 	if vars := spec.Vars(); len(vars) > 0 {
 		return nil, fmt.Errorf("core: specification has unbound parameters %v; call Spec.Bind first", vars)
 	}
@@ -47,18 +109,25 @@ func New(spec *access.Spec) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return FromView(view)
+	return FromViewConfig(view, cfg)
 }
 
 // FromView builds an engine around an already-derived view — typically
 // one loaded from a serialized definition (secview.UnmarshalView), so
 // query frontends need not re-derive per process.
 func FromView(view *secview.View) (*Engine, error) {
+	return FromViewConfig(view, Config{})
+}
+
+// FromViewConfig is FromView with explicit serving-layer tuning.
+func FromViewConfig(view *secview.View, cfg Config) (*Engine, error) {
 	e := &Engine{
 		spec:     view.Spec,
 		view:     view,
 		opt:      optimize.New(view.Doc),
-		byHeight: make(map[int]*rewrite.Rewriter),
+		cfg:      cfg,
+		byHeight: plancache.New[*rewrite.Rewriter](cfg.heightCap()),
+		plans:    plancache.New[*Prepared](cfg.planCap()),
 	}
 	if !view.IsRecursive() {
 		r, err := rewrite.ForView(view)
@@ -85,22 +154,17 @@ func (e *Engine) Spec() *access.Spec { return e.spec }
 
 // Rewriter returns the query rewriter for documents of the given height
 // (the height only matters for recursive views, which are unfolded to
-// it; any height works for non-recursive views).
+// it; any height works for non-recursive views). Per-height rewriters
+// are cached with LRU eviction, so an adversarial stream of documents
+// with many distinct heights costs repeated unfolds, never unbounded
+// memory.
 func (e *Engine) Rewriter(height int) (*rewrite.Rewriter, error) {
 	if e.flat != nil {
 		return e.flat, nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if r, ok := e.byHeight[height]; ok {
-		return r, nil
-	}
-	r, err := rewrite.ForViewWithHeight(e.view, height)
-	if err != nil {
-		return nil, err
-	}
-	e.byHeight[height] = r
-	return r, nil
+	return e.byHeight.GetOrCompute(strconv.Itoa(height), func() (*rewrite.Rewriter, error) {
+		return rewrite.ForViewWithHeight(e.view, height)
+	})
 }
 
 // Rewrite translates a view query into the equivalent document query p_t.
@@ -120,15 +184,57 @@ func (e *Engine) Optimize(p xpath.Path) xpath.Path {
 	return e.opt.Optimize(p)
 }
 
+// heightClass maps a document height to the plan-cache key component:
+// non-recursive views rewrite identically for every height, so all
+// documents share one class; recursive views need one plan per height.
+func (e *Engine) heightClass(height int) int {
+	if e.flat != nil {
+		return 0
+	}
+	return height
+}
+
+// prepared returns the cached plan for (query, height class), building
+// and caching it on a miss. Queries with unbound $variables are
+// rejected up front: depending on the document they would either error
+// mid-evaluation or silently match nothing, and neither belongs in the
+// cache.
+func (e *Engine) prepared(p xpath.Path, height int) (*Prepared, error) {
+	if vars := xpath.Vars(p); len(vars) > 0 {
+		return nil, fmt.Errorf("core: query has unbound variables %v; bind them with xpath.BindVars before querying", vars)
+	}
+	text := xpath.String(p)
+	key := strconv.Itoa(e.heightClass(height)) + "\x00" + text
+	return e.plans.GetOrCompute(key, func() (*Prepared, error) {
+		pt, err := e.Rewrite(p, height)
+		if err != nil {
+			return nil, err
+		}
+		return &Prepared{Source: p, Rewritten: pt, Optimized: e.Optimize(pt)}, nil
+	})
+}
+
 // Query answers a view query over a document: rewrite, optimize, and
 // evaluate over the original tree. The result contains exactly the
-// document nodes the policy exposes to the query.
+// document nodes the policy exposes to the query. Plans are served from
+// the engine's cache when the same query text was answered before (for
+// recursive views: at the same document height), and malformed or
+// unbound-variable queries return an error rather than panicking.
 func (e *Engine) Query(doc *xmltree.Document, p xpath.Path) ([]*xmltree.Node, error) {
-	pt, err := e.Rewrite(p, doc.Height())
+	e.queries.Add(1)
+	prep, err := e.prepared(p, doc.Height())
 	if err != nil {
 		return nil, err
 	}
-	return xpath.EvalDoc(e.Optimize(pt), doc), nil
+	return e.evalPrepared(prep, doc)
+}
+
+func (e *Engine) evalPrepared(prep *Prepared, doc *xmltree.Document) ([]*xmltree.Node, error) {
+	if e.cfg.Parallel {
+		return xpath.EvalDocParallel(prep.Optimized, doc, e.cfg.ParallelConfig, &e.evalStats)
+	}
+	e.evalStats.SequentialEvals.Add(1)
+	return xpath.EvalDocErr(prep.Optimized, doc)
 }
 
 // QueryString is Query with parsing.
@@ -140,9 +246,42 @@ func (e *Engine) QueryString(doc *xmltree.Document, query string) ([]*xmltree.No
 	return e.Query(doc, p)
 }
 
+// Stats is a point-in-time snapshot of the engine's serving counters.
+type Stats struct {
+	// Queries counts Query/QueryString calls.
+	Queries uint64
+	// PlanCache reports the (query, height class) → plan cache.
+	PlanCache plancache.Stats
+	// HeightCache reports the per-height rewriter cache (recursive
+	// views only; empty for flat views).
+	HeightCache plancache.Stats
+	// SequentialEvals and ParallelEvals count evaluations by path;
+	// UnionForks and Partitions count the parallel evaluator's fan-outs
+	// (see xpath.ParallelStats).
+	SequentialEvals uint64
+	ParallelEvals   uint64
+	UnionForks      uint64
+	Partitions      uint64
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	seq, par, forks, parts := e.evalStats.Snapshot()
+	return Stats{
+		Queries:         e.queries.Load(),
+		PlanCache:       e.plans.Stats(),
+		HeightCache:     e.byHeight.Stats(),
+		SequentialEvals: seq,
+		ParallelEvals:   par,
+		UnionForks:      forks,
+		Partitions:      parts,
+	}
+}
+
 // Prepared is a view query rewritten and optimized once, reusable across
-// documents. Preparation is only available for non-recursive views (a
-// recursive view's rewriting depends on each document's height).
+// documents sharing its height class (every document for non-recursive
+// views; same-height documents for recursive ones). Engine.Query keeps
+// these in its plan cache; Prepare hands one out directly.
 type Prepared struct {
 	// Source is the original view query.
 	Source xpath.Path
@@ -153,16 +292,15 @@ type Prepared struct {
 }
 
 // Prepare rewrites and optimizes a view query once, so frontends can
-// amortize translation across many documents and evaluations.
+// amortize translation across many documents and evaluations. It is
+// only available for non-recursive views (a recursive view's rewriting
+// depends on each document's height; use Engine.Query, which caches per
+// height class).
 func (e *Engine) Prepare(p xpath.Path) (*Prepared, error) {
 	if e.flat == nil {
 		return nil, fmt.Errorf("core: Prepare needs a non-recursive view; use Rewrite with the document height")
 	}
-	pt, err := e.flat.Rewrite(p)
-	if err != nil {
-		return nil, err
-	}
-	return &Prepared{Source: p, Rewritten: pt, Optimized: e.Optimize(pt)}, nil
+	return e.prepared(p, 0)
 }
 
 // PrepareString parses and prepares in one step.
@@ -175,8 +313,19 @@ func (e *Engine) PrepareString(query string) (*Prepared, error) {
 }
 
 // Eval runs a prepared query over a document with the tree evaluator.
+// It panics on unbound $variables; use EvalErr for untrusted queries.
 func (q *Prepared) Eval(doc *xmltree.Document) []*xmltree.Node {
 	return xpath.EvalDoc(q.Optimized, doc)
+}
+
+// EvalErr is Eval returning an error instead of panicking.
+func (q *Prepared) EvalErr(doc *xmltree.Document) ([]*xmltree.Node, error) {
+	return xpath.EvalDocErr(q.Optimized, doc)
+}
+
+// EvalParallel runs a prepared query with the parallel evaluator.
+func (q *Prepared) EvalParallel(doc *xmltree.Document, cfg xpath.ParallelConfig, stats *xpath.ParallelStats) ([]*xmltree.Node, error) {
+	return xpath.EvalDocParallel(q.Optimized, doc, cfg, stats)
 }
 
 // EvalIndexed runs a prepared query against a prebuilt label index.

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dtds"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// fig7Doc builds a document for the recursive Fig. 7 DTD with the given
+// nesting depth: a(b, c(a(b, c(...)))).
+func fig7Doc(depth int) *xmltree.Document {
+	e, tx := xmltree.E, xmltree.T
+	var rec func(d int) *xmltree.Node
+	rec = func(d int) *xmltree.Node {
+		if d == 0 {
+			return e("a", tx("b", "leaf"), e("c"))
+		}
+		return e("a", tx("b", fmt.Sprintf("lvl-%d", d)), e("c", rec(d-1)))
+	}
+	return xmltree.NewDocument(rec(depth))
+}
+
+// TestPlanCacheHits: the second identical query must be served from the
+// plan cache — the rewrite+optimize stages run once.
+func TestPlanCacheHits(t *testing.T) {
+	e := nurseEngine(t, "1")
+	doc := dtds.GenerateHospital(3, 3)
+	first, err := e.QueryString(doc, "//patient/name")
+	if err != nil {
+		t.Fatalf("QueryString: %v", err)
+	}
+	s := e.Stats()
+	if s.PlanCache.Hits != 0 || s.PlanCache.Misses != 1 {
+		t.Fatalf("after first query: %+v", s.PlanCache)
+	}
+	second, err := e.QueryString(doc, "//patient/name")
+	if err != nil {
+		t.Fatalf("QueryString: %v", err)
+	}
+	s = e.Stats()
+	if s.PlanCache.Hits != 1 || s.PlanCache.Misses != 1 || s.PlanCache.Entries != 1 {
+		t.Errorf("after second query: %+v", s.PlanCache)
+	}
+	if s.Queries != 2 {
+		t.Errorf("queries = %d", s.Queries)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached plan changed the answer")
+	}
+	// Equivalent text (parse→print canonicalization) shares the entry.
+	if _, err := e.QueryString(doc, "  //patient/name "); err != nil {
+		t.Fatalf("QueryString: %v", err)
+	}
+	if s := e.Stats(); s.PlanCache.Entries != 1 || s.PlanCache.Hits != 2 {
+		t.Errorf("canonicalization missed: %+v", s.PlanCache)
+	}
+}
+
+// TestPlanCacheRecursiveHeightClasses: recursive views cache one plan
+// per (query, document height).
+func TestPlanCacheRecursiveHeightClasses(t *testing.T) {
+	e, err := New(dtds.Fig7Spec())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d3, d5 := fig7Doc(1), fig7Doc(2)
+	for _, doc := range []*xmltree.Document{d3, d5, d3, d5} {
+		if _, err := e.QueryString(doc, "//b"); err != nil {
+			t.Fatalf("QueryString: %v", err)
+		}
+	}
+	s := e.Stats()
+	if s.PlanCache.Entries != 2 {
+		t.Errorf("entries = %d, want 2 (one per height class)", s.PlanCache.Entries)
+	}
+	if s.PlanCache.Hits != 2 || s.PlanCache.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", s.PlanCache.Hits, s.PlanCache.Misses)
+	}
+	// The recursive answers must still be right: every b is visible.
+	got, err := e.QueryString(d5, "//b")
+	if err != nil {
+		t.Fatalf("QueryString: %v", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("//b over depth-2 doc = %d nodes, want 3", len(got))
+	}
+}
+
+// TestByHeightCapRegression: adversarial clients submitting documents
+// of many distinct heights must not grow the per-height rewriter map
+// without bound.
+func TestByHeightCapRegression(t *testing.T) {
+	e, err := NewWithConfig(dtds.Fig7Spec(), Config{HeightCacheCapacity: 4})
+	if err != nil {
+		t.Fatalf("NewWithConfig: %v", err)
+	}
+	for h := 2; h < 40; h++ {
+		if _, err := e.Rewriter(h); err != nil {
+			t.Fatalf("Rewriter(%d): %v", h, err)
+		}
+	}
+	s := e.Stats()
+	if s.HeightCache.Entries > 4 {
+		t.Errorf("height cache grew to %d entries, cap 4", s.HeightCache.Entries)
+	}
+	if s.HeightCache.Evictions == 0 {
+		t.Errorf("no evictions recorded despite 38 distinct heights")
+	}
+	// The cap must not change answers: re-request an evicted height.
+	if _, err := e.Rewriter(2); err != nil {
+		t.Errorf("Rewriter(2) after eviction: %v", err)
+	}
+}
+
+// TestQueryUnboundVarReturnsError: the satellite bugfix — an unbound
+// $variable reachable from QueryString must error, not panic.
+func TestQueryUnboundVarReturnsError(t *testing.T) {
+	e := nurseEngine(t, "1")
+	doc := dtds.GenerateHospital(2, 2)
+	res, err := e.QueryString(doc, `//patient[wardNo = $evil]/name`)
+	if err == nil {
+		t.Fatalf("unbound variable accepted, returned %d nodes", len(res))
+	}
+	if !strings.Contains(err.Error(), "evil") {
+		t.Errorf("error does not name the variable: %v", err)
+	}
+	// The engine must stay usable afterwards.
+	if _, err := e.QueryString(doc, "//patient/name"); err != nil {
+		t.Errorf("engine broken after bad query: %v", err)
+	}
+}
+
+// TestParallelEngineMatchesSequential: a Parallel engine returns the
+// same answers as the default one.
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	spec, err := dtds.NurseSpec().Bind(map[string]string{"wardNo": "1"})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	seqE, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	parE, err := NewWithConfig(spec, Config{
+		Parallel:       true,
+		ParallelConfig: xpath.ParallelConfig{Workers: 4, Threshold: -1},
+	})
+	if err != nil {
+		t.Fatalf("NewWithConfig: %v", err)
+	}
+	doc := dtds.GenerateHospital(17, 6)
+	for _, q := range []string{"//patient/name", "//bill", "dept/staffInfo/staff/*", "//patient[wardNo]/name"} {
+		want, err := seqE.QueryString(doc, q)
+		if err != nil {
+			t.Fatalf("sequential %q: %v", q, err)
+		}
+		got, err := parE.QueryString(doc, q)
+		if err != nil {
+			t.Fatalf("parallel %q: %v", q, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: parallel %d nodes, sequential %d", q, len(got), len(want))
+		}
+	}
+	s := parE.Stats()
+	if s.ParallelEvals == 0 {
+		t.Errorf("parallel engine recorded no parallel evals: %+v", s)
+	}
+	if s := seqE.Stats(); s.SequentialEvals == 0 {
+		t.Errorf("sequential engine recorded no sequential evals")
+	}
+}
+
+// TestConcurrentQueriesFlatAndRecursive: satellite coverage — parallel
+// Query/Prepare from many goroutines under -race, on both view shapes.
+func TestConcurrentQueriesFlatAndRecursive(t *testing.T) {
+	flat := nurseEngine(t, "1")
+	flatDoc := dtds.GenerateHospital(7, 4)
+	rec, err := New(dtds.Fig7Spec())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	recDocs := []*xmltree.Document{fig7Doc(1), fig7Doc(2), fig7Doc(3)}
+	queries := []string{"//patient/name", "//bill", "dept/staffInfo/staff/*"}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := queries[(g+i)%len(queries)]
+				if _, err := flat.QueryString(flatDoc, q); err != nil {
+					t.Errorf("flat %q: %v", q, err)
+					return
+				}
+				if _, err := flat.PrepareString(q); err != nil {
+					t.Errorf("prepare %q: %v", q, err)
+					return
+				}
+				if _, err := rec.QueryString(recDocs[(g+i)%len(recDocs)], "//b"); err != nil {
+					t.Errorf("recursive //b: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	fs, rs := flat.Stats(), rec.Stats()
+	if fs.PlanCache.Hits == 0 || rs.PlanCache.Hits == 0 {
+		t.Errorf("no plan-cache hits under concurrency: flat %+v recursive %+v", fs.PlanCache, rs.PlanCache)
+	}
+	if rs.HeightCache.Entries == 0 {
+		t.Errorf("recursive engine cached no rewriters")
+	}
+}
+
+// TestPrepareServedFromPlanCache: Prepare and Query share the cache.
+func TestPrepareServedFromPlanCache(t *testing.T) {
+	e := nurseEngine(t, "1")
+	p1, err := e.PrepareString("//patient/name")
+	if err != nil {
+		t.Fatalf("PrepareString: %v", err)
+	}
+	p2, err := e.PrepareString("//patient/name")
+	if err != nil {
+		t.Fatalf("PrepareString: %v", err)
+	}
+	if p1 != p2 {
+		t.Errorf("identical prepares returned distinct plans")
+	}
+	doc := dtds.GenerateHospital(5, 3)
+	if _, err := e.QueryString(doc, "//patient/name"); err != nil {
+		t.Fatalf("QueryString: %v", err)
+	}
+	if s := e.Stats(); s.PlanCache.Entries != 1 {
+		t.Errorf("Query built a second plan for a prepared query: %+v", s.PlanCache)
+	}
+}

@@ -1,0 +1,147 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatalf("empty cache returned a hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("a", 10) // refresh
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("refreshed Get(a) = %d", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](3) // single shard: capacity < 2*defaultShards
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a") // a becomes most recent; b is now LRU
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Errorf("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s evicted unexpectedly", k)
+		}
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestBoundHolds(t *testing.T) {
+	for _, capacity := range []int{1, 3, 16, 100} {
+		c := New[int](capacity)
+		for i := 0; i < 10*capacity; i++ {
+			c.Put(fmt.Sprintf("key-%d", i), i)
+		}
+		// Sharded caches round the per-shard bound up, so allow the
+		// documented slack of shards-1 entries.
+		max := capacity + len(c.shards) - 1
+		if n := c.Len(); n > max {
+			t.Errorf("capacity %d: Len = %d exceeds bound %d", capacity, n, max)
+		}
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	c := New[string](0)
+	c.Put("a", "x")
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	c.Put("b", "y")
+	if c.Len() != 1 {
+		t.Errorf("after second Put, Len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New[int](4)
+	calls := 0
+	get := func() (int, error) { calls++; return 42, nil }
+	v, err := c.GetOrCompute("k", get)
+	if err != nil || v != 42 {
+		t.Fatalf("GetOrCompute = %d, %v", v, err)
+	}
+	if v, _ := c.GetOrCompute("k", get); v != 42 {
+		t.Fatalf("second GetOrCompute = %d", v)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	if _, err := c.GetOrCompute("bad", func() (int, error) { return 0, fmt.Errorf("boom") }); err == nil {
+		t.Errorf("compute error swallowed")
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Errorf("failed compute was cached")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := New[int](8)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 || s.Capacity != 8 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int](8)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("Len after Purge = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Errorf("purged entry still present")
+	}
+}
+
+// TestConcurrent hammers one cache from many goroutines (run with -race).
+func TestConcurrent(t *testing.T) {
+	c := New[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", (g*7+i)%100)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Errorf("corrupt value %d", v)
+				}
+				c.Put(k, i)
+				if i%50 == 0 {
+					c.Len()
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 64+len(c.shards)-1 {
+		t.Errorf("bound exceeded after concurrent load: %d", n)
+	}
+}

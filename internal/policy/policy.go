@@ -11,35 +11,59 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/dtd"
+	"repro/internal/plancache"
 	"repro/internal/xmltree"
 )
 
+// DefaultEngineCacheCapacity bounds the per-class engine cache: each
+// distinct parameter binding ($wardNo=6 vs $wardNo=7) derives its own
+// security view, and untrusted binding values must not grow memory
+// without limit.
+const DefaultEngineCacheCapacity = 128
+
 // Registry holds the user classes defined over one document DTD.
 type Registry struct {
-	d       *dtd.DTD
-	classes map[string]*Class
-	order   []string
+	d         *dtd.DTD
+	classes   map[string]*Class
+	order     []string
+	engineCap int
+	engineCfg core.Config
 }
 
 // Class is one user class: a named, possibly parameterized access
-// specification plus the cache of derived engines (guarded by mu; a
-// Class is safe for concurrent use).
+// specification plus the bounded cache of derived engines (a Class is
+// safe for concurrent use).
 type Class struct {
 	Name string
 	Spec *access.Spec
 
-	mu      sync.Mutex
-	engines map[string]*core.Engine
+	engineCfg core.Config
+	engines   *plancache.Cache[*core.Engine]
 }
 
 // NewRegistry returns an empty registry over the document DTD.
 func NewRegistry(d *dtd.DTD) *Registry {
-	return &Registry{d: d, classes: make(map[string]*Class)}
+	return NewRegistryWithConfig(d, 0, core.Config{})
+}
+
+// NewRegistryWithConfig is NewRegistry with serving-layer tuning:
+// engineCap bounds each class's engine cache (0 means
+// DefaultEngineCacheCapacity) and engineCfg is handed to every derived
+// engine (plan-cache sizes, parallel evaluation).
+func NewRegistryWithConfig(d *dtd.DTD, engineCap int, engineCfg core.Config) *Registry {
+	if engineCap <= 0 {
+		engineCap = DefaultEngineCacheCapacity
+	}
+	return &Registry{
+		d:         d,
+		classes:   make(map[string]*Class),
+		engineCap: engineCap,
+		engineCfg: engineCfg,
+	}
 }
 
 // DTD returns the document DTD the registry's policies annotate.
@@ -66,7 +90,12 @@ func (r *Registry) DefineSpec(name string, spec *access.Spec) (*Class, error) {
 	if spec.D != r.d {
 		return nil, fmt.Errorf("policy: class %q: specification is over a different DTD", name)
 	}
-	c := &Class{Name: name, Spec: spec, engines: make(map[string]*core.Engine)}
+	c := &Class{
+		Name:      name,
+		Spec:      spec,
+		engineCfg: r.engineCfg,
+		engines:   plancache.New[*core.Engine](r.engineCap),
+	}
 	r.classes[name] = c
 	r.order = append(r.order, name)
 	return c, nil
@@ -87,29 +116,44 @@ func (r *Registry) Names() []string {
 func (c *Class) Params() []string { return c.Spec.Vars() }
 
 // Engine returns the enforcement engine for one parameter binding,
-// deriving the security view on first use and caching it. Classes
+// deriving the security view on first use and caching it with LRU
+// eviction (an evicted binding is re-derived on its next use). Classes
 // without parameters accept a nil binding.
 func (c *Class) Engine(params map[string]string) (*core.Engine, error) {
-	key := bindingKey(params)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.engines[key]; ok {
-		return e, nil
-	}
-	spec := c.Spec
-	if len(c.Params()) > 0 || len(params) > 0 {
-		bound, err := c.Spec.Bind(params)
+	return c.engines.GetOrCompute(bindingKey(params), func() (*core.Engine, error) {
+		spec := c.Spec
+		if len(c.Params()) > 0 || len(params) > 0 {
+			bound, err := c.Spec.Bind(params)
+			if err != nil {
+				return nil, fmt.Errorf("policy: class %s: %v", c.Name, err)
+			}
+			spec = bound
+		}
+		e, err := core.NewWithConfig(spec, c.engineCfg)
 		if err != nil {
 			return nil, fmt.Errorf("policy: class %s: %v", c.Name, err)
 		}
-		spec = bound
+		return e, nil
+	})
+}
+
+// EngineCacheStats reports the class's engine-cache counters.
+func (c *Class) EngineCacheStats() plancache.Stats { return c.engines.Stats() }
+
+// ClassStats is a registry-level rollup for one user class.
+type ClassStats struct {
+	Class   string
+	Engines plancache.Stats
+}
+
+// Stats reports the engine-cache counters for every class in
+// definition order.
+func (r *Registry) Stats() []ClassStats {
+	out := make([]ClassStats, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, ClassStats{Class: name, Engines: r.classes[name].EngineCacheStats()})
 	}
-	e, err := core.New(spec)
-	if err != nil {
-		return nil, fmt.Errorf("policy: class %s: %v", c.Name, err)
-	}
-	c.engines[key] = e
-	return e, nil
+	return out
 }
 
 // Query answers a view query for one user: class, parameter binding,

@@ -9,35 +9,61 @@ import (
 // Eval evaluates the query at a single context node and returns the
 // selected nodes in document order without duplicates (the paper's v⟦p⟧).
 // The query must not contain unbound variables; bind them first with
-// BindVars.
+// BindVars. Eval panics on unbound variables — untrusted queries should
+// go through EvalErr instead.
 func Eval(p Path, ctx *xmltree.Node) []*xmltree.Node {
 	return EvalAt(p, []*xmltree.Node{ctx})
 }
 
+// EvalErr is Eval returning an error instead of panicking on unbound
+// $variables or malformed AST nodes.
+func EvalErr(p Path, ctx *xmltree.Node) ([]*xmltree.Node, error) {
+	return EvalAtErr(p, []*xmltree.Node{ctx})
+}
+
 // EvalAt evaluates the query at a set of context nodes and returns the
 // union of the per-node results in document order without duplicates.
+// It panics on unbound variables; see EvalAtErr.
 func EvalAt(p Path, ctx []*xmltree.Node) []*xmltree.Node {
-	out := evalPath(p, ctx)
-	return xmltree.SortDocOrder(out)
+	out, err := EvalAtErr(p, ctx)
+	if err != nil {
+		panic("xpath: " + err.Error())
+	}
+	return out
+}
+
+// EvalAtErr is EvalAt returning an error instead of panicking.
+func EvalAtErr(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
+	out, err := evalPath(p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return xmltree.SortDocOrder(out), nil
 }
 
 // EvalDoc evaluates a query over a whole document, using the document
 // root as the context node. Queries written with a leading '/' or '//'
 // behave as in standard XPath because Parse treats the root element as
-// the context: //a finds every a including the root itself.
+// the context: //a finds every a including the root itself. It panics on
+// unbound variables; see EvalDocErr.
 func EvalDoc(p Path, doc *xmltree.Document) []*xmltree.Node {
 	return Eval(p, doc.Root)
 }
 
-func evalPath(p Path, ctx []*xmltree.Node) []*xmltree.Node {
+// EvalDocErr is EvalDoc returning an error instead of panicking.
+func EvalDocErr(p Path, doc *xmltree.Document) ([]*xmltree.Node, error) {
+	return EvalErr(p, doc.Root)
+}
+
+func evalPath(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 	if len(ctx) == 0 {
-		return nil
+		return nil, nil
 	}
 	switch p := p.(type) {
 	case Empty:
-		return nil
+		return nil, nil
 	case Self:
-		return append([]*xmltree.Node(nil), ctx...)
+		return append([]*xmltree.Node(nil), ctx...), nil
 	case Label:
 		var out []*xmltree.Node
 		for _, v := range ctx {
@@ -47,7 +73,7 @@ func evalPath(p Path, ctx []*xmltree.Node) []*xmltree.Node {
 				}
 			}
 		}
-		return out
+		return out, nil
 	case Wildcard:
 		var out []*xmltree.Node
 		for _, v := range ctx {
@@ -57,77 +83,127 @@ func evalPath(p Path, ctx []*xmltree.Node) []*xmltree.Node {
 				}
 			}
 		}
-		return out
+		return out, nil
 	case Seq:
-		mid := xmltree.SortDocOrder(evalPath(p.Left, ctx))
-		return evalPath(p.Right, mid)
+		mid, err := evalPath(p.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return evalPath(p.Right, xmltree.SortDocOrder(mid))
 	case Descend:
 		// descendant-or-self, then p.Sub.
-		var dos []*xmltree.Node
-		seen := make(map[*xmltree.Node]bool)
-		for _, v := range ctx {
-			v.Walk(func(n *xmltree.Node) bool {
-				if seen[n] {
-					return false
-				}
-				seen[n] = true
-				dos = append(dos, n)
-				return true
-			})
-		}
-		dos = xmltree.SortDocOrder(dos)
-		return evalPath(p.Sub, dos)
+		return evalPath(p.Sub, descendantOrSelf(ctx))
 	case Union:
-		left := evalPath(p.Left, ctx)
-		right := evalPath(p.Right, ctx)
-		return append(left, right...)
+		left, err := evalPath(p.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := evalPath(p.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		// Dedup eagerly: overlapping branches would otherwise hand
+		// duplicate nodes to an enclosing context, and while every
+		// consumer re-sorts today, keeping the invariant local makes it
+		// impossible to leak duplicates through a new consumer.
+		return xmltree.SortDocOrder(append(left, right...)), nil
 	case Qualified:
-		mid := xmltree.SortDocOrder(evalPath(p.Sub, ctx))
+		mid, err := evalPath(p.Sub, ctx)
+		if err != nil {
+			return nil, err
+		}
 		var out []*xmltree.Node
-		for _, v := range mid {
-			if EvalQual(p.Cond, v) {
+		for _, v := range xmltree.SortDocOrder(mid) {
+			hold, err := EvalQualErr(p.Cond, v)
+			if err != nil {
+				return nil, err
+			}
+			if hold {
 				out = append(out, v)
 			}
 		}
-		return out
+		return out, nil
 	default:
-		panic(fmt.Sprintf("xpath: evalPath: unknown path node %T", p))
+		return nil, fmt.Errorf("evalPath: unknown path node %T", p)
 	}
 }
 
+// descendantOrSelf collects the context nodes and all their descendants
+// in document order without duplicates.
+func descendantOrSelf(ctx []*xmltree.Node) []*xmltree.Node {
+	var dos []*xmltree.Node
+	seen := make(map[*xmltree.Node]bool)
+	for _, v := range ctx {
+		v.Walk(func(n *xmltree.Node) bool {
+			if seen[n] {
+				return false
+			}
+			seen[n] = true
+			dos = append(dos, n)
+			return true
+		})
+	}
+	return xmltree.SortDocOrder(dos)
+}
+
 // EvalQual evaluates a qualifier at a context node (the paper's "[q]
-// holds at v").
+// holds at v"). It panics on unbound $variables; untrusted qualifiers
+// should go through EvalQualErr.
 func EvalQual(q Qual, v *xmltree.Node) bool {
+	hold, err := EvalQualErr(q, v)
+	if err != nil {
+		panic("xpath: " + err.Error())
+	}
+	return hold
+}
+
+// EvalQualErr is EvalQual returning an error instead of panicking on
+// unbound $variables or malformed AST nodes.
+func EvalQualErr(q Qual, v *xmltree.Node) (bool, error) {
 	switch q := q.(type) {
 	case QTrue:
-		return true
+		return true, nil
 	case QFalse:
-		return false
+		return false, nil
 	case QPath:
-		return len(evalPath(q.Path, []*xmltree.Node{v})) > 0
+		res, err := evalPath(q.Path, []*xmltree.Node{v})
+		return len(res) > 0, err
 	case QEq:
 		if q.Var != "" {
-			panic(fmt.Sprintf("xpath: unbound variable $%s in qualifier", q.Var))
+			return false, fmt.Errorf("unbound variable $%s in qualifier", q.Var)
 		}
-		for _, n := range evalPath(q.Path, []*xmltree.Node{v}) {
+		res, err := evalPath(q.Path, []*xmltree.Node{v})
+		if err != nil {
+			return false, err
+		}
+		for _, n := range res {
 			if n.Text() == q.Value {
-				return true
+				return true, nil
 			}
 		}
-		return false
+		return false, nil
 	case QAttrEq:
 		val, ok := v.Attr(q.Name)
-		return ok && val == q.Value
+		return ok && val == q.Value, nil
 	case QAttrHas:
 		_, ok := v.Attr(q.Name)
-		return ok
+		return ok, nil
 	case QAnd:
-		return EvalQual(q.Left, v) && EvalQual(q.Right, v)
+		left, err := EvalQualErr(q.Left, v)
+		if err != nil || !left {
+			return false, err
+		}
+		return EvalQualErr(q.Right, v)
 	case QOr:
-		return EvalQual(q.Left, v) || EvalQual(q.Right, v)
+		left, err := EvalQualErr(q.Left, v)
+		if err != nil || left {
+			return left, err
+		}
+		return EvalQualErr(q.Right, v)
 	case QNot:
-		return !EvalQual(q.Sub, v)
+		hold, err := EvalQualErr(q.Sub, v)
+		return !hold && err == nil, err
 	default:
-		panic(fmt.Sprintf("xpath: EvalQual: unknown qualifier node %T", q))
+		return false, fmt.Errorf("EvalQual: unknown qualifier node %T", q)
 	}
 }

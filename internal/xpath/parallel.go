@@ -1,0 +1,298 @@
+package xpath
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xmltree"
+)
+
+// DefaultParallelThreshold is the context-set / document size below
+// which the parallel evaluator falls back to the sequential fast path:
+// goroutine and merge overhead beats the win on small inputs.
+const DefaultParallelThreshold = 512
+
+// ParallelConfig tunes EvalDocParallel / EvalAtParallel. The zero value
+// selects sensible defaults.
+type ParallelConfig struct {
+	// Workers bounds the number of extra goroutines evaluating at once
+	// (the calling goroutine always works too). 0 means GOMAXPROCS.
+	Workers int
+	// Threshold is the minimum input size (document nodes, or context
+	// nodes for partitioned steps) that turns parallelism on. 0 means
+	// DefaultParallelThreshold; negative forces parallelism for tests.
+	Threshold int
+}
+
+func (c ParallelConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c ParallelConfig) threshold() int {
+	switch {
+	case c.Threshold > 0:
+		return c.Threshold
+	case c.Threshold < 0:
+		return 1
+	}
+	return DefaultParallelThreshold
+}
+
+// ParallelStats counts the parallel evaluator's decisions. Counters are
+// atomic so one Stats value can be shared by concurrent evaluations.
+type ParallelStats struct {
+	// SequentialEvals counts top-level calls that stayed on the
+	// sequential fast path (input under threshold).
+	SequentialEvals atomic.Uint64
+	// ParallelEvals counts top-level calls that used the parallel
+	// evaluator.
+	ParallelEvals atomic.Uint64
+	// UnionForks counts union branches evaluated on their own goroutine.
+	UnionForks atomic.Uint64
+	// Partitions counts context-set chunks handed to the worker pool by
+	// partitioned Descend and qualifier-filter steps.
+	Partitions atomic.Uint64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *ParallelStats) Snapshot() (sequential, parallel, unionForks, partitions uint64) {
+	return s.SequentialEvals.Load(), s.ParallelEvals.Load(), s.UnionForks.Load(), s.Partitions.Load()
+}
+
+// EvalDocParallel evaluates a query over a whole document like
+// EvalDocErr, fanning union branches and large descendant context sets
+// out over a bounded worker pool. Documents smaller than the threshold
+// take the sequential path unchanged. stats may be nil.
+func EvalDocParallel(p Path, doc *xmltree.Document, cfg ParallelConfig, stats *ParallelStats) ([]*xmltree.Node, error) {
+	if doc.Size() < cfg.threshold() {
+		if stats != nil {
+			stats.SequentialEvals.Add(1)
+		}
+		return EvalDocErr(p, doc)
+	}
+	return EvalAtParallel(p, []*xmltree.Node{doc.Root}, cfg, stats)
+}
+
+// EvalAtParallel evaluates at a set of context nodes like EvalAtErr,
+// with parallel union fan-out and descendant partitioning. The gate is
+// the total subtree size under the context nodes. stats may be nil.
+func EvalAtParallel(p Path, ctx []*xmltree.Node, cfg ParallelConfig, stats *ParallelStats) ([]*xmltree.Node, error) {
+	thresh := cfg.threshold()
+	size := 0
+	for _, v := range ctx {
+		size += v.DescendantCount() + 1
+	}
+	if size < thresh {
+		if stats != nil {
+			stats.SequentialEvals.Add(1)
+		}
+		return EvalAtErr(p, ctx)
+	}
+	if stats != nil {
+		stats.ParallelEvals.Add(1)
+	}
+	e := &pEval{sem: make(chan struct{}, cfg.workers()), threshold: thresh, stats: stats}
+	out, err := e.eval(p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return xmltree.SortDocOrder(out), nil
+}
+
+// pEval is one parallel evaluation: a token bucket bounding extra
+// goroutines, the partition granularity, and optional counters. The
+// document tree is read-only during evaluation, so workers share it
+// freely; every intermediate slice is goroutine-local.
+type pEval struct {
+	sem       chan struct{}
+	threshold int
+	stats     *ParallelStats
+}
+
+// tryAcquire claims a worker token without blocking; callers that get
+// none do the work inline, which keeps the pool deadlock-free no matter
+// how deeply unions nest.
+func (e *pEval) tryAcquire() bool {
+	select {
+	case e.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *pEval) release() { <-e.sem }
+
+func (e *pEval) eval(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
+	if len(ctx) == 0 {
+		return nil, nil
+	}
+	switch p := p.(type) {
+	case Seq:
+		mid, err := e.eval(p.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return e.eval(p.Right, xmltree.SortDocOrder(mid))
+	case Descend:
+		return e.evalChunked(p.Sub, descendantOrSelf(ctx))
+	case Union:
+		if e.tryAcquire() {
+			if e.stats != nil {
+				e.stats.UnionForks.Add(1)
+			}
+			var (
+				left    []*xmltree.Node
+				leftErr error
+				done    = make(chan struct{})
+			)
+			go func() {
+				defer close(done)
+				defer e.release()
+				left, leftErr = e.eval(p.Left, ctx)
+			}()
+			right, rightErr := e.eval(p.Right, ctx)
+			<-done
+			if leftErr != nil {
+				return nil, leftErr
+			}
+			if rightErr != nil {
+				return nil, rightErr
+			}
+			return xmltree.SortDocOrder(append(left, right...)), nil
+		}
+		left, err := e.eval(p.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.eval(p.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return xmltree.SortDocOrder(append(left, right...)), nil
+	case Qualified:
+		mid, err := e.eval(p.Sub, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return e.filterChunked(p.Cond, xmltree.SortDocOrder(mid))
+	default:
+		// Leaf steps (Empty, Self, Label, Wildcard) have no inner
+		// parallelism; the sequential evaluator handles them and any
+		// unknown node's error.
+		return evalPath(p, ctx)
+	}
+}
+
+// evalChunked evaluates sub over a (sorted, deduplicated) context set,
+// partitioning it across the worker pool when it is large. Evaluation
+// distributes over context-set union, so chunk results merged through
+// SortDocOrder equal the sequential result.
+func (e *pEval) evalChunked(sub Path, nodes []*xmltree.Node) ([]*xmltree.Node, error) {
+	chunks := e.split(nodes)
+	if len(chunks) == 1 {
+		return e.eval(sub, nodes)
+	}
+	results := make([][]*xmltree.Node, len(chunks))
+	errs := make([]error, len(chunks))
+	e.forEachChunk(chunks, func(i int) {
+		results[i], errs[i] = e.eval(sub, chunks[i])
+	})
+	var out []*xmltree.Node
+	for i := range chunks {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return xmltree.SortDocOrder(out), nil
+}
+
+// filterChunked applies a qualifier filter over a sorted candidate set,
+// partitioning it when large — qualifiers can hide arbitrarily expensive
+// paths, so this is where p[q] spends its time.
+func (e *pEval) filterChunked(q Qual, mid []*xmltree.Node) ([]*xmltree.Node, error) {
+	filter := func(nodes []*xmltree.Node) ([]*xmltree.Node, error) {
+		var out []*xmltree.Node
+		for _, v := range nodes {
+			hold, err := EvalQualErr(q, v)
+			if err != nil {
+				return nil, err
+			}
+			if hold {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+	chunks := e.split(mid)
+	if len(chunks) == 1 {
+		return filter(mid)
+	}
+	results := make([][]*xmltree.Node, len(chunks))
+	errs := make([]error, len(chunks))
+	e.forEachChunk(chunks, func(i int) {
+		results[i], errs[i] = filter(chunks[i])
+	})
+	// Chunks are contiguous ranges of the sorted input, so concatenation
+	// preserves document order without a re-sort.
+	var out []*xmltree.Node
+	for i := range chunks {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
+}
+
+// split partitions nodes into contiguous chunks of at least threshold
+// nodes, capped at workers+1 chunks; below 2×threshold it returns the
+// input as a single chunk.
+func (e *pEval) split(nodes []*xmltree.Node) [][]*xmltree.Node {
+	n := len(nodes)
+	if n < 2*e.threshold {
+		return [][]*xmltree.Node{nodes}
+	}
+	num := n / e.threshold
+	if max := cap(e.sem) + 1; num > max {
+		num = max
+	}
+	size := (n + num - 1) / num
+	chunks := make([][]*xmltree.Node, 0, num)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		chunks = append(chunks, nodes[start:end])
+	}
+	return chunks
+}
+
+// forEachChunk runs fn(i) for every chunk, using a goroutine per chunk
+// when a worker token is free and the calling goroutine otherwise.
+func (e *pEval) forEachChunk(chunks [][]*xmltree.Node, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 1; i < len(chunks); i++ {
+		if !e.tryAcquire() {
+			fn(i)
+			continue
+		}
+		if e.stats != nil {
+			e.stats.Partitions.Add(1)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer e.release()
+			fn(i)
+		}(i)
+	}
+	fn(0)
+	wg.Wait()
+}

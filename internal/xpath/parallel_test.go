@@ -1,0 +1,141 @@
+package xpath
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// wideDoc builds a document with depts×patients patient records so the
+// parallel evaluator has real context sets to partition.
+func wideDoc(depts, patients int) *xmltree.Document {
+	e, tx := xmltree.E, xmltree.T
+	var deptNodes []*xmltree.Node
+	for d := 0; d < depts; d++ {
+		var kids []*xmltree.Node
+		kids = append(kids, e("staffInfo", e("staff", e("nurse", tx("name", fmt.Sprintf("nurse-%d", d))))))
+		var records []*xmltree.Node
+		for p := 0; p < patients; p++ {
+			records = append(records, e("patient",
+				tx("name", fmt.Sprintf("p-%d-%d", d, p)),
+				tx("wardNo", fmt.Sprintf("%d", p%7)),
+				e("treatment", e("regular", tx("bill", fmt.Sprintf("%d", 100+p)), tx("medication", "aspirin")))))
+		}
+		kids = append(kids, e("patientInfo", records...))
+		deptNodes = append(deptNodes, e("dept", kids...))
+	}
+	return xmltree.NewDocument(e("hospital", deptNodes...))
+}
+
+var parallelQueries = []string{
+	"//patient/name",
+	"//patient[wardNo = \"3\"]/name",
+	"(//bill | //medication)",
+	"(//patient | dept/patientInfo/patient)[treatment/regular]/name",
+	"//dept/patientInfo/patient[treatment]/treatment//bill",
+	"dept/staffInfo/staff/*",
+}
+
+// TestParallelMatchesSequential checks result equality for every query
+// with parallelism forced on, across worker counts.
+func TestParallelMatchesSequential(t *testing.T) {
+	doc := wideDoc(8, 50)
+	for _, q := range parallelQueries {
+		p := MustParse(q)
+		want := EvalDoc(p, doc)
+		for _, workers := range []int{1, 2, 8} {
+			var stats ParallelStats
+			cfg := ParallelConfig{Workers: workers, Threshold: -1}
+			got, err := EvalDocParallel(p, doc, cfg, &stats)
+			if err != nil {
+				t.Fatalf("%q workers=%d: %v", q, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%q workers=%d: parallel %d nodes, sequential %d", q, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestParallelThresholdGate: small documents must stay on the
+// sequential fast path and count as such.
+func TestParallelThresholdGate(t *testing.T) {
+	doc := wideDoc(1, 2)
+	var stats ParallelStats
+	got, err := EvalDocParallel(MustParse("//patient/name"), doc, ParallelConfig{}, &stats)
+	if err != nil {
+		t.Fatalf("EvalDocParallel: %v", err)
+	}
+	seq, par, _, _ := stats.Snapshot()
+	if seq != 1 || par != 0 {
+		t.Errorf("small doc: sequential=%d parallel=%d, want 1/0", seq, par)
+	}
+	if len(got) != 2 {
+		t.Errorf("got %d names", len(got))
+	}
+}
+
+// TestParallelCountersAdvance: forced-parallel evaluation of a union
+// over a large document must record forks and partitions.
+func TestParallelCountersAdvance(t *testing.T) {
+	doc := wideDoc(8, 80)
+	var stats ParallelStats
+	cfg := ParallelConfig{Workers: 4, Threshold: 64}
+	_, err := EvalDocParallel(MustParse("(//bill | //medication)"), doc, cfg, &stats)
+	if err != nil {
+		t.Fatalf("EvalDocParallel: %v", err)
+	}
+	seq, par, forks, _ := stats.Snapshot()
+	if par != 1 || seq != 0 {
+		t.Errorf("parallel=%d sequential=%d, want 1/0", par, seq)
+	}
+	if forks == 0 {
+		t.Errorf("union fork counter did not advance")
+	}
+	// Partitioning kicks in on the descendant-or-self context set.
+	var stats2 ParallelStats
+	if _, err := EvalDocParallel(MustParse("//patient"), doc, ParallelConfig{Workers: 4, Threshold: 64}, &stats2); err != nil {
+		t.Fatalf("EvalDocParallel: %v", err)
+	}
+	if _, _, _, parts := stats2.Snapshot(); parts == 0 {
+		t.Errorf("partition counter did not advance")
+	}
+}
+
+// TestParallelUnboundVarError: the parallel evaluator must return the
+// unbound-variable error, not panic, even from worker goroutines.
+func TestParallelUnboundVarError(t *testing.T) {
+	doc := wideDoc(4, 40)
+	p := MustParse("(//patient[wardNo = $w] | //nurse)/name")
+	if _, err := EvalDocParallel(p, doc, ParallelConfig{Threshold: -1}, nil); err == nil {
+		t.Errorf("unbound variable did not error")
+	}
+}
+
+// TestParallelConcurrentEvals: many goroutines sharing one stats value
+// and one document (run with -race).
+func TestParallelConcurrentEvals(t *testing.T) {
+	doc := wideDoc(6, 40)
+	var stats ParallelStats
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := parallelQueries[g%len(parallelQueries)]
+			for i := 0; i < 5; i++ {
+				if _, err := EvalDocParallel(MustParse(q), doc, ParallelConfig{Threshold: -1}, &stats); err != nil {
+					t.Errorf("%q: %v", q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, par, _, _ := stats.Snapshot(); par != 40 {
+		t.Errorf("parallel evals = %d, want 40", par)
+	}
+}

@@ -61,10 +61,21 @@ type (
 	Node = xmltree.Node
 	// Path is a parsed XPath query of the paper's fragment C.
 	Path = xpath.Path
-	// Engine enforces one bound access policy end to end (Fig. 3).
+	// Engine enforces one bound access policy end to end (Fig. 3), with
+	// a bounded plan cache in front of the rewrite+optimize stages.
 	Engine = core.Engine
+	// EngineConfig tunes an engine's serving layer: cache capacities and
+	// parallel evaluation.
+	EngineConfig = core.Config
+	// EngineStats is a snapshot of an engine's query, cache, and
+	// evaluation counters.
+	EngineStats = core.Stats
+	// ParallelConfig tunes the parallel evaluator's worker pool and the
+	// sequential-fallback threshold.
+	ParallelConfig = xpath.ParallelConfig
 	// Registry manages the policies of multiple user classes over one
-	// document DTD, caching derived engines per parameter binding.
+	// document DTD, caching derived engines per parameter binding with
+	// LRU eviction.
 	Registry = policy.Registry
 	// LintIssue is one finding of the specification linter.
 	LintIssue = lint.Issue
@@ -115,6 +126,12 @@ func Validate(doc *Document, d *DTD) error { return xmltree.Validate(doc, d) }
 // $parameters — use Spec.Bind) and returns the policy-enforcement engine.
 func NewEngine(spec *Spec) (*Engine, error) { return core.New(spec) }
 
+// NewEngineWithConfig is NewEngine with explicit serving-layer tuning:
+// plan/height cache capacities and parallel evaluation.
+func NewEngineWithConfig(spec *Spec, cfg EngineConfig) (*Engine, error) {
+	return core.NewWithConfig(spec, cfg)
+}
+
 // Derive computes just the security view for a bound specification
 // (Algorithm derive, Fig. 5) without the query machinery.
 func Derive(spec *Spec) (*View, error) { return secview.Derive(spec) }
@@ -135,6 +152,13 @@ func Eval(p Path, doc *Document) []*Node { return xpath.EvalDoc(p, doc) }
 // NewRegistry returns a policy registry over the document DTD, for
 // managing multiple user classes at once.
 func NewRegistry(d *DTD) *Registry { return policy.NewRegistry(d) }
+
+// NewRegistryWithConfig is NewRegistry with serving-layer tuning:
+// engineCap bounds each class's per-binding engine cache (0 keeps the
+// default) and cfg is applied to every derived engine.
+func NewRegistryWithConfig(d *DTD, engineCap int, cfg EngineConfig) *Registry {
+	return policy.NewRegistryWithConfig(d, engineCap, cfg)
+}
 
 // Lint statically checks a specification: redundant or unreachable
 // annotations, trivial conditions, and derived-view abort risks.
