@@ -18,3 +18,18 @@ check: build
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 100x .
+
+# fuzz-smoke gives every fuzz target a short budget (go test accepts one
+# -fuzz pattern per invocation, hence the one-target-per-line shape).
+# CI runs this; locally, raise FUZZTIME for a deeper pass.
+FUZZTIME ?= 20s
+
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test ./internal/xpath -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xpath -fuzz 'FuzzParseQual$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xpath -fuzz 'FuzzEval$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xpath -fuzz 'FuzzEvalQual$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dtd -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dtd -fuzz 'FuzzParseElementSyntax$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dtd -fuzz 'FuzzMatchLabels$$' -fuzztime $(FUZZTIME)

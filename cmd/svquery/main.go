@@ -15,13 +15,16 @@
 // label-index evaluator; -parallel evaluates with the worker-pool
 // evaluator (-workers bounds it); -stats prints the engine's plan-cache
 // and evaluation counters to stderr; -repeat re-runs the query to
-// exercise the plan cache.
+// exercise the plan cache; -timeout bounds each evaluation with a
+// deadline (a query that exceeds it fails with a context error).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -46,6 +49,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 		stats      = flag.Bool("stats", false, "print plan-cache and evaluation counters to stderr")
 		repeat     = flag.Int("repeat", 1, "run the query this many times (repeats hit the plan cache)")
+		timeout    = flag.Duration("timeout", 0, "per-evaluation deadline, e.g. 250ms (0 = none)")
 		params     cli.Params
 	)
 	flag.Var(&params, "param", "bind a specification parameter, e.g. -param wardNo=6 (repeatable)")
@@ -124,12 +128,23 @@ func main() {
 	}
 	var result []*xmltree.Node
 	for i := 0; i < *repeat; i++ {
-		if result, err = engine.Query(doc, p); err != nil {
+		if result, err = queryOnce(engine, doc, p, *timeout); err != nil {
 			fatal(err)
 		}
 	}
 	printResult(result)
 	printStats(engine, *stats)
+}
+
+// queryOnce runs one evaluation under the optional deadline.
+func queryOnce(engine *core.Engine, doc *xmltree.Document, p xpath.Path, timeout time.Duration) ([]*xmltree.Node, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return engine.QueryCtx(ctx, doc, p)
 }
 
 func printResult(result []*xmltree.Node) {
@@ -143,7 +158,7 @@ func printStats(engine *core.Engine, show bool) {
 		return
 	}
 	s := engine.Stats()
-	fmt.Fprintf(os.Stderr, "queries:      %d\n", s.Queries)
+	fmt.Fprintf(os.Stderr, "queries:      %d (%d cancelled)\n", s.Queries, s.Cancelled)
 	fmt.Fprintf(os.Stderr, "plan cache:   %d hits, %d misses, %d evictions, %d/%d entries\n",
 		s.PlanCache.Hits, s.PlanCache.Misses, s.PlanCache.Evictions, s.PlanCache.Entries, s.PlanCache.Capacity)
 	fmt.Fprintf(os.Stderr, "height cache: %d hits, %d misses, %d evictions, %d/%d entries\n",

@@ -1,0 +1,161 @@
+// Command svserve fronts the security-view query engine with an HTTP
+// server: it loads one document and a set of user-class policies, then
+// answers rewritten-query requests with per-request deadlines and
+// admission control (saturation returns 429 rather than queueing).
+//
+// Usage:
+//
+//	svserve -builtin hospital -doc ward.xml
+//	svserve -dtd hospital.dtd -class nurse=nurse.ann -doc ward.xml -addr :8344
+//
+// Endpoints:
+//
+//	GET /query?class=nurse&param=wardNo=6&q=//patient/name[&timeout=250ms]
+//	GET /statsz   — JSON counters: server (requests, latency histogram,
+//	                timeouts, rejections) and per-class engine/plan-cache
+//	                stats from the layers below
+//	GET /healthz
+//
+// Flags -timeout and -max-timeout bound each request's evaluation
+// deadline; -max-inflight caps concurrent evaluations; -parallel,
+// -workers, and -threshold tune the worker-pool evaluator handed to
+// every derived engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/serve"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// builtinClassNames gives each built-in scenario's single policy a
+// class name for /query requests.
+var builtinClassNames = map[string]string{
+	"hospital": "nurse",
+	"adex":     "buyer",
+	"fig7":     "user",
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8344", "listen address")
+		dtdPath     = flag.String("dtd", "", "document DTD file (with -class)")
+		builtin     = flag.String("builtin", "", "use a built-in scenario: hospital, adex, or fig7")
+		docPath     = flag.String("doc", "", "XML document file to serve queries against")
+		timeout     = flag.Duration("timeout", serve.DefaultTimeout, "default per-request evaluation deadline")
+		maxTimeout  = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "hard cap on per-request deadlines")
+		maxInFlight = flag.Int("max-inflight", serve.DefaultMaxInFlight, "maximum concurrently evaluating queries (excess gets 429)")
+		parallel    = flag.Bool("parallel", false, "evaluate with the parallel worker-pool evaluator")
+		workers     = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		threshold   = flag.Int("threshold", 0, "parallel-evaluation size threshold (0 = default)")
+		classes     classFlags
+	)
+	flag.Var(&classes, "class", "define a user class from an annotation file, e.g. -class nurse=nurse.ann (repeatable)")
+	flag.Parse()
+
+	if *docPath == "" {
+		fatal(fmt.Errorf("need -doc"))
+	}
+	engineCfg := core.Config{
+		Parallel:       *parallel,
+		ParallelConfig: xpath.ParallelConfig{Workers: *workers, Threshold: *threshold},
+	}
+	reg, err := buildRegistry(*builtin, *dtdPath, classes, engineCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Open(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := xmltree.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if err := xmltree.Validate(doc, reg.DTD()); err != nil {
+		fatal(fmt.Errorf("document does not conform to the DTD: %v", err))
+	}
+
+	srv := serve.New(reg, doc, serve.Config{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxInFlight:    *maxInFlight,
+	})
+	log.Printf("svserve: serving %s (%d nodes, height %d) for classes %v on %s",
+		*docPath, doc.Size(), doc.Height(), reg.Names(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// buildRegistry assembles the user classes: either a built-in scenario
+// (one class under its conventional name) or a DTD file plus one
+// -class name=annfile per user class.
+func buildRegistry(builtin, dtdPath string, classes classFlags, engineCfg core.Config) (*policy.Registry, error) {
+	if builtin != "" {
+		spec, err := cli.LoadSpec(builtin, "", "")
+		if err != nil {
+			return nil, err
+		}
+		reg := policy.NewRegistryWithConfig(spec.D, 0, engineCfg)
+		if _, err := reg.DefineSpec(builtinClassNames[builtin], spec); err != nil {
+			return nil, err
+		}
+		return reg, nil
+	}
+	if dtdPath == "" || len(classes) == 0 {
+		return nil, fmt.Errorf("need -builtin, or -dtd with at least one -class name=annfile")
+	}
+	d, err := cli.LoadDTD(dtdPath)
+	if err != nil {
+		return nil, err
+	}
+	reg := policy.NewRegistryWithConfig(d, 0, engineCfg)
+	for _, c := range classes {
+		src, err := os.ReadFile(c.path)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := reg.Define(c.name, string(src)); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// classFlags is the repeatable "-class name=annfile" flag.
+type classFlags []struct{ name, path string }
+
+func (c *classFlags) String() string {
+	parts := make([]string, len(*c))
+	for i, e := range *c {
+		parts[i] = e.name + "=" + e.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *classFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("expected name=annfile, got %q", v)
+	}
+	*c = append(*c, struct{ name, path string }{name, path})
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "svserve:", err)
+	os.Exit(1)
+}

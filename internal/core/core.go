@@ -16,6 +16,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync/atomic"
@@ -91,6 +93,7 @@ type Engine struct {
 	plans *plancache.Cache[*Prepared]
 
 	queries   atomic.Uint64
+	cancelled atomic.Uint64
 	evalStats xpath.ParallelStats
 }
 
@@ -221,47 +224,70 @@ func (e *Engine) prepared(p xpath.Path, height int) (*Prepared, error) {
 // recursive views: at the same document height), and malformed or
 // unbound-variable queries return an error rather than panicking.
 func (e *Engine) Query(doc *xmltree.Document, p xpath.Path) ([]*xmltree.Node, error) {
+	return e.QueryCtx(context.Background(), doc, p)
+}
+
+// QueryCtx is Query honoring a context: evaluation polls the context
+// cooperatively and returns ctx.Err() once it is done, so callers can
+// bound a query with a deadline or cancel it mid-flight. Plan rewriting
+// and caching complete normally either way — a cancelled query leaves
+// the plan cache exactly as a successful one would, so a retry hits the
+// cached plan.
+func (e *Engine) QueryCtx(ctx context.Context, doc *xmltree.Document, p xpath.Path) ([]*xmltree.Node, error) {
 	e.queries.Add(1)
 	prep, err := e.prepared(p, doc.Height())
 	if err != nil {
 		return nil, err
 	}
-	return e.evalPrepared(prep, doc)
+	out, err := e.evalPrepared(ctx, prep, doc)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		e.cancelled.Add(1)
+	}
+	return out, err
 }
 
-func (e *Engine) evalPrepared(prep *Prepared, doc *xmltree.Document) ([]*xmltree.Node, error) {
+func (e *Engine) evalPrepared(ctx context.Context, prep *Prepared, doc *xmltree.Document) ([]*xmltree.Node, error) {
 	if e.cfg.Parallel {
-		return xpath.EvalDocParallel(prep.Optimized, doc, e.cfg.ParallelConfig, &e.evalStats)
+		return xpath.EvalDocParallelCtx(ctx, prep.Optimized, doc, e.cfg.ParallelConfig, &e.evalStats)
 	}
 	e.evalStats.SequentialEvals.Add(1)
-	return xpath.EvalDocErr(prep.Optimized, doc)
+	return xpath.EvalDocCtx(ctx, prep.Optimized, doc)
 }
 
 // QueryString is Query with parsing.
 func (e *Engine) QueryString(doc *xmltree.Document, query string) ([]*xmltree.Node, error) {
+	return e.QueryStringCtx(context.Background(), doc, query)
+}
+
+// QueryStringCtx is QueryCtx with parsing.
+func (e *Engine) QueryStringCtx(ctx context.Context, doc *xmltree.Document, query string) ([]*xmltree.Node, error) {
 	p, err := xpath.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.Query(doc, p)
+	return e.QueryCtx(ctx, doc, p)
 }
 
 // Stats is a point-in-time snapshot of the engine's serving counters.
+// The JSON field names are part of the /statsz wire format.
 type Stats struct {
 	// Queries counts Query/QueryString calls.
-	Queries uint64
+	Queries uint64 `json:"queries"`
+	// Cancelled counts queries that returned a context error (deadline
+	// exceeded or caller cancellation) mid-evaluation.
+	Cancelled uint64 `json:"cancelled"`
 	// PlanCache reports the (query, height class) → plan cache.
-	PlanCache plancache.Stats
+	PlanCache plancache.Stats `json:"plan_cache"`
 	// HeightCache reports the per-height rewriter cache (recursive
 	// views only; empty for flat views).
-	HeightCache plancache.Stats
+	HeightCache plancache.Stats `json:"height_cache"`
 	// SequentialEvals and ParallelEvals count evaluations by path;
 	// UnionForks and Partitions count the parallel evaluator's fan-outs
 	// (see xpath.ParallelStats).
-	SequentialEvals uint64
-	ParallelEvals   uint64
-	UnionForks      uint64
-	Partitions      uint64
+	SequentialEvals uint64 `json:"sequential_evals"`
+	ParallelEvals   uint64 `json:"parallel_evals"`
+	UnionForks      uint64 `json:"union_forks"`
+	Partitions      uint64 `json:"partitions"`
 }
 
 // Stats snapshots the engine counters.
@@ -269,6 +295,7 @@ func (e *Engine) Stats() Stats {
 	seq, par, forks, parts := e.evalStats.Snapshot()
 	return Stats{
 		Queries:         e.queries.Load(),
+		Cancelled:       e.cancelled.Load(),
 		PlanCache:       e.plans.Stats(),
 		HeightCache:     e.byHeight.Stats(),
 		SequentialEvals: seq,
@@ -323,9 +350,20 @@ func (q *Prepared) EvalErr(doc *xmltree.Document) ([]*xmltree.Node, error) {
 	return xpath.EvalDocErr(q.Optimized, doc)
 }
 
+// EvalCtx is EvalErr honoring a context deadline or cancellation.
+func (q *Prepared) EvalCtx(ctx context.Context, doc *xmltree.Document) ([]*xmltree.Node, error) {
+	return xpath.EvalDocCtx(ctx, q.Optimized, doc)
+}
+
 // EvalParallel runs a prepared query with the parallel evaluator.
 func (q *Prepared) EvalParallel(doc *xmltree.Document, cfg xpath.ParallelConfig, stats *xpath.ParallelStats) ([]*xmltree.Node, error) {
 	return xpath.EvalDocParallel(q.Optimized, doc, cfg, stats)
+}
+
+// EvalParallelCtx is EvalParallel honoring a context deadline or
+// cancellation.
+func (q *Prepared) EvalParallelCtx(ctx context.Context, doc *xmltree.Document, cfg xpath.ParallelConfig, stats *xpath.ParallelStats) ([]*xmltree.Node, error) {
+	return xpath.EvalDocParallelCtx(ctx, q.Optimized, doc, cfg, stats)
 }
 
 // EvalIndexed runs a prepared query against a prebuilt label index.

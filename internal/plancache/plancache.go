@@ -156,13 +156,35 @@ func (c *Cache[V]) Purge() {
 	}
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Each calls fn once per cached entry with the key and current value.
+// The snapshot is taken shard by shard under the shard locks, so fn must
+// not touch the cache; entries added or evicted while Each runs may or
+// may not be seen. Recency is not updated. It exists so observability
+// endpoints can roll cached artifacts' own counters (e.g. per-binding
+// engine stats) up into one report.
+func (c *Cache[V]) Each(fn func(key string, v V)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		snap := make(map[string]V, len(s.items))
+		for k, el := range s.items {
+			snap[k] = el.Value.(*entry[V]).val
+		}
+		s.mu.Unlock()
+		for k, v := range snap {
+			fn(k, v)
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters. The JSON
+// field names are part of the /statsz wire format.
 type Stats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Entries   int
-	Capacity  int
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
 }
 
 // Stats snapshots the counters and current size.

@@ -8,6 +8,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -140,18 +141,37 @@ func (c *Class) Engine(params map[string]string) (*core.Engine, error) {
 // EngineCacheStats reports the class's engine-cache counters.
 func (c *Class) EngineCacheStats() plancache.Stats { return c.engines.Stats() }
 
-// ClassStats is a registry-level rollup for one user class.
-type ClassStats struct {
-	Class   string
-	Engines plancache.Stats
+// BindingStats is the serving counters of one cached engine (one
+// parameter binding of a class).
+type BindingStats struct {
+	// Binding is the canonical parameter binding ("" for parameterless
+	// classes, "wardNo=6;" style otherwise).
+	Binding string     `json:"binding"`
+	Engine  core.Stats `json:"engine"`
 }
 
-// Stats reports the engine-cache counters for every class in
-// definition order.
+// ClassStats is a registry-level rollup for one user class.
+type ClassStats struct {
+	Class   string          `json:"class"`
+	Engines plancache.Stats `json:"engine_cache"`
+	// Bindings holds the per-binding engine counters (plan cache,
+	// evaluation path, cancellations) for every engine currently cached,
+	// sorted by binding key.
+	Bindings []BindingStats `json:"bindings"`
+}
+
+// Stats reports the engine-cache counters and the cached engines' own
+// serving counters for every class in definition order.
 func (r *Registry) Stats() []ClassStats {
 	out := make([]ClassStats, 0, len(r.order))
 	for _, name := range r.order {
-		out = append(out, ClassStats{Class: name, Engines: r.classes[name].EngineCacheStats()})
+		c := r.classes[name]
+		cs := ClassStats{Class: name, Engines: c.EngineCacheStats()}
+		c.engines.Each(func(key string, e *core.Engine) {
+			cs.Bindings = append(cs.Bindings, BindingStats{Binding: key, Engine: e.Stats()})
+		})
+		sort.Slice(cs.Bindings, func(i, j int) bool { return cs.Bindings[i].Binding < cs.Bindings[j].Binding })
+		out = append(out, cs)
 	}
 	return out
 }
@@ -159,6 +179,14 @@ func (r *Registry) Stats() []ClassStats {
 // Query answers a view query for one user: class, parameter binding,
 // document, query text.
 func (r *Registry) Query(class string, params map[string]string, doc *xmltree.Document, query string) ([]*xmltree.Node, error) {
+	return r.QueryCtx(context.Background(), class, params, doc, query)
+}
+
+// QueryCtx is Query honoring a context: the evaluation polls the context
+// cooperatively and returns ctx.Err() once it is done (engine derivation
+// and plan rewriting complete normally either way, so retries hit warm
+// caches).
+func (r *Registry) QueryCtx(ctx context.Context, class string, params map[string]string, doc *xmltree.Document, query string) ([]*xmltree.Node, error) {
 	c, ok := r.classes[class]
 	if !ok {
 		return nil, fmt.Errorf("policy: unknown class %q", class)
@@ -167,7 +195,7 @@ func (r *Registry) Query(class string, params map[string]string, doc *xmltree.Do
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryString(doc, query)
+	return e.QueryStringCtx(ctx, doc, query)
 }
 
 // ViewDTD returns the schema published to one user class under a

@@ -1,0 +1,332 @@
+// Package serve is the HTTP front-end of the query-serving stack: it
+// exposes a policy.Registry over one document as a small, bounded
+// service. Every request runs under a context deadline (the evaluators
+// poll it cooperatively, so a runaway query is cut off mid-descent), an
+// admission-control semaphore caps the number of in-flight evaluations
+// (excess load is refused with 429 instead of queueing until collapse),
+// and /statsz reports the full counter stack — per-class engine and
+// plan-cache counters from the layers below plus the server's own
+// request, latency, and cancellation counters.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/xmltree"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultTimeout     = 5 * time.Second
+	DefaultMaxTimeout  = 30 * time.Second
+	DefaultMaxInFlight = 64
+)
+
+// Config tunes the server. The zero value gives the defaults above.
+type Config struct {
+	// DefaultTimeout bounds a request that does not pass ?timeout=.
+	// Negative means no per-request default; the hard MaxTimeout cap
+	// still applies, so no query ever runs unbounded.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps every request's deadline, including explicit
+	// ?timeout= values.
+	MaxTimeout time.Duration
+	// MaxInFlight bounds concurrently evaluating queries; requests
+	// beyond it are refused with 429 Too Many Requests.
+	MaxInFlight int
+}
+
+func (c Config) defaultTimeout() time.Duration {
+	switch {
+	case c.DefaultTimeout > 0:
+		return c.DefaultTimeout
+	case c.DefaultTimeout < 0:
+		return 0
+	}
+	return DefaultTimeout
+}
+
+func (c Config) maxTimeout() time.Duration {
+	if c.MaxTimeout > 0 {
+		return c.MaxTimeout
+	}
+	return DefaultMaxTimeout
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight > 0 {
+		return c.MaxInFlight
+	}
+	return DefaultMaxInFlight
+}
+
+// Server serves rewritten-query requests for one document and one
+// policy registry. It is safe for concurrent use.
+type Server struct {
+	reg *policy.Registry
+	doc *xmltree.Document
+	cfg Config
+	sem chan struct{}
+
+	requests      atomic.Uint64
+	ok            atomic.Uint64
+	badRequests   atomic.Uint64
+	rejected      atomic.Uint64
+	timeouts      atomic.Uint64
+	clientCancels atomic.Uint64
+	inFlight      atomic.Int64
+	latCount      atomic.Uint64
+	latSumMicros  atomic.Uint64
+	latMaxMicros  atomic.Uint64
+	latBuckets    [len(latencyBounds) + 1]atomic.Uint64
+	started       time.Time
+
+	// testHook, when set, runs while the request holds its admission
+	// slot, before evaluation. Tests use it to pin requests in flight.
+	testHook func()
+}
+
+// latencyBounds are the upper bounds (inclusive) of the latency
+// histogram buckets; the implicit last bucket is +inf.
+var latencyBounds = [...]time.Duration{
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+}
+
+// latencyBucketNames label the histogram buckets in /statsz output.
+var latencyBucketNames = [...]string{"le_1ms", "le_10ms", "le_100ms", "le_1s", "inf"}
+
+// New builds a server over a registry and the document it answers
+// queries against. The document must already conform to the registry's
+// DTD; frontends validate at load time.
+func New(reg *policy.Registry, doc *xmltree.Document, cfg Config) *Server {
+	return &Server{
+		reg:     reg,
+		doc:     doc,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.maxInFlight()),
+		started: time.Now(),
+	}
+}
+
+// Handler returns the server's route table: /query, /statsz, /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleQuery answers one view query. Parameters: class (required), q
+// (required), param=name=value (repeatable), timeout (Go duration,
+// clamped to Config.MaxTimeout).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if err := r.ParseForm(); err != nil {
+		s.badRequest(w, fmt.Errorf("malformed form: %v", err))
+		return
+	}
+	class := r.Form.Get("class")
+	query := r.Form.Get("q")
+	if class == "" || query == "" {
+		s.badRequest(w, errors.New("need class= and q= parameters"))
+		return
+	}
+	params, err := parseParams(r.Form["param"])
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	timeout := s.cfg.defaultTimeout()
+	if v := r.Form.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			s.badRequest(w, fmt.Errorf("bad timeout %q (want a positive Go duration like 250ms)", v))
+			return
+		}
+		timeout = d
+	}
+	if max := s.cfg.maxTimeout(); timeout == 0 || timeout > max {
+		timeout = max
+	}
+
+	// Admission control: refuse instead of queueing. A saturated server
+	// answering 429 immediately keeps latency bounded for the queries it
+	// did admit; clients retry with backoff.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server saturated: too many in-flight queries", http.StatusTooManyRequests)
+		return
+	}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+	if s.testHook != nil {
+		s.testHook()
+	}
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	nodes, err := s.reg.QueryCtx(ctx, class, params, s.doc, query)
+	s.observeLatency(time.Since(start))
+	switch {
+	case err == nil:
+		s.ok.Add(1)
+		writeResult(w, nodes)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		http.Error(w, fmt.Sprintf("query exceeded its %v deadline", timeout), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; nothing useful can be written, but the
+		// status keeps the access log honest (499 is the de-facto
+		// client-closed-request code).
+		s.clientCancels.Add(1)
+		w.WriteHeader(499)
+	default:
+		s.badRequest(w, err)
+	}
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.badRequests.Add(1)
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// writeResult wraps the selected nodes in a <result> envelope so the
+// response body is a single well-formed XML document.
+func writeResult(w http.ResponseWriter, nodes []*xmltree.Node) {
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "<result count=\"%d\">\n", len(nodes))
+	for _, n := range nodes {
+		b.WriteString(n.String())
+	}
+	b.WriteString("</result>\n")
+	w.Write([]byte(b.String()))
+}
+
+func parseParams(kvs []string) (map[string]string, error) {
+	if len(kvs) == 0 {
+		return nil, nil
+	}
+	params := make(map[string]string, len(kvs))
+	for _, kv := range kvs {
+		name, value, ok := strings.Cut(kv, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad param %q (want name=value)", kv)
+		}
+		params[name] = value
+	}
+	return params, nil
+}
+
+func (s *Server) observeLatency(d time.Duration) {
+	us := uint64(d.Microseconds())
+	s.latCount.Add(1)
+	s.latSumMicros.Add(us)
+	for {
+		old := s.latMaxMicros.Load()
+		if us <= old || s.latMaxMicros.CompareAndSwap(old, us) {
+			break
+		}
+	}
+	for i, bound := range latencyBounds {
+		if d <= bound {
+			s.latBuckets[i].Add(1)
+			return
+		}
+	}
+	s.latBuckets[len(latencyBounds)].Add(1)
+}
+
+// LatencyStats is the /statsz latency section: a count/sum pair plus a
+// small fixed histogram (bucket upper bounds 1ms, 10ms, 100ms, 1s, +inf;
+// each observation lands in exactly one bucket).
+type LatencyStats struct {
+	Count     uint64            `json:"count"`
+	SumMicros uint64            `json:"sum_us"`
+	MaxMicros uint64            `json:"max_us"`
+	Buckets   map[string]uint64 `json:"buckets"`
+}
+
+// ServerStats is the server section of /statsz.
+type ServerStats struct {
+	Requests       uint64       `json:"requests"`
+	OK             uint64       `json:"ok"`
+	BadRequests    uint64       `json:"bad_requests"`
+	Rejected       uint64       `json:"rejected"`
+	Timeouts       uint64       `json:"timeouts"`
+	ClientCancels  uint64       `json:"client_cancels"`
+	InFlight       int64        `json:"in_flight"`
+	MaxInFlight    int          `json:"max_in_flight"`
+	UptimeSeconds  float64      `json:"uptime_seconds"`
+	DocumentNodes  int          `json:"document_nodes"`
+	DocumentHeight int          `json:"document_height"`
+	Latency        LatencyStats `json:"latency"`
+}
+
+// Statsz is the full /statsz document: the server's own counters plus
+// the per-class rollup from the policy registry (engine caches, and for
+// every cached engine its plan-cache and evaluation counters).
+type Statsz struct {
+	Server  ServerStats         `json:"server"`
+	Classes []policy.ClassStats `json:"classes"`
+}
+
+// Stats snapshots the server and registry counters.
+func (s *Server) Stats() Statsz {
+	buckets := make(map[string]uint64, len(latencyBucketNames))
+	for i, name := range latencyBucketNames {
+		buckets[name] = s.latBuckets[i].Load()
+	}
+	return Statsz{
+		Server: ServerStats{
+			Requests:       s.requests.Load(),
+			OK:             s.ok.Load(),
+			BadRequests:    s.badRequests.Load(),
+			Rejected:       s.rejected.Load(),
+			Timeouts:       s.timeouts.Load(),
+			ClientCancels:  s.clientCancels.Load(),
+			InFlight:       s.inFlight.Load(),
+			MaxInFlight:    s.cfg.maxInFlight(),
+			UptimeSeconds:  time.Since(s.started).Seconds(),
+			DocumentNodes:  s.doc.Size(),
+			DocumentHeight: s.doc.Height(),
+			Latency: LatencyStats{
+				Count:     s.latCount.Load(),
+				SumMicros: s.latSumMicros.Load(),
+				MaxMicros: s.latMaxMicros.Load(),
+				Buckets:   buckets,
+			},
+		},
+		Classes: s.reg.Stats(),
+	}
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}

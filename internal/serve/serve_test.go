@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dtds"
+	"repro/internal/policy"
+	"repro/internal/xmlgen"
+)
+
+// newTestServer builds a server over the hospital scenario: the unbound
+// nurse policy (wardNo binds per request) and a generated ward document.
+func newTestServer(t *testing.T, cfg Config, maxRepeat int) *Server {
+	t.Helper()
+	spec := dtds.NurseSpec()
+	reg := policy.NewRegistryWithConfig(spec.D, 0, core.Config{})
+	if _, err := reg.DefineSpec("nurse", spec); err != nil {
+		t.Fatalf("DefineSpec: %v", err)
+	}
+	doc := xmlgen.Generate(spec.D, xmlgen.Config{
+		Seed:      7,
+		MinRepeat: maxRepeat - 2,
+		MaxRepeat: maxRepeat,
+		Value: func(r *rand.Rand, label string) string {
+			if label == "wardNo" {
+				return fmt.Sprintf("%d", r.Intn(4))
+			}
+			return fmt.Sprintf("%s-%d", label, r.Intn(1000))
+		},
+	})
+	return New(reg, doc, cfg)
+}
+
+func get(t *testing.T, h http.Handler, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", target, nil))
+	return w
+}
+
+func TestQueryOK(t *testing.T) {
+	s := newTestServer(t, Config{}, 4)
+	h := s.Handler()
+	w := get(t, h, "/query?class=nurse&param=wardNo=1&q="+url.QueryEscape("//patient/name"))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %q", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/xml") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := w.Body.String()
+	if !strings.HasPrefix(body, "<result count=") || !strings.HasSuffix(strings.TrimSpace(body), "</result>") {
+		t.Errorf("body is not a result envelope: %.120q", body)
+	}
+	st := s.Stats().Server
+	if st.Requests != 1 || st.OK != 1 || st.Latency.Count != 1 {
+		t.Errorf("server stats after one query: %+v", st)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{}, 3)
+	h := s.Handler()
+	cases := []struct {
+		name, target string
+	}{
+		{"missing q", "/query?class=nurse"},
+		{"missing class", "/query?q=//name"},
+		{"bad param", "/query?class=nurse&q=//name&param=wardNo"},
+		{"bad timeout", "/query?class=nurse&param=wardNo=1&q=//name&timeout=soon"},
+		{"negative timeout", "/query?class=nurse&param=wardNo=1&q=//name&timeout=-1s"},
+		{"unknown class", "/query?class=admin&q=//name"},
+		{"unparsable query", "/query?class=nurse&param=wardNo=1&q=" + url.QueryEscape("//[")},
+		{"unbound param", "/query?class=nurse&q=//name"},
+	}
+	for _, c := range cases {
+		if w := get(t, h, c.target); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %q)", c.name, w.Code, w.Body.String())
+		}
+	}
+	if st := s.Stats().Server; st.BadRequests != uint64(len(cases)) {
+		t.Errorf("BadRequests = %d, want %d", st.BadRequests, len(cases))
+	}
+}
+
+// TestAdmissionControl: with MaxInFlight=2 and two requests pinned in
+// flight, a third is refused with 429 + Retry-After instead of queueing;
+// after the slots free up the server accepts work again.
+func TestAdmissionControl(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 2}, 3)
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	s.testHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	target := srv.URL + "/query?class=nurse&param=wardNo=1&q=" + url.QueryEscape("//name")
+
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(target)
+			if err != nil {
+				t.Errorf("pinned request %d: %v", i, err)
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	// Both slots taken...
+	<-entered
+	<-entered
+	// ...so the third request must be refused immediately.
+	resp, err := http.Get(target)
+	if err != nil {
+		t.Fatalf("saturating request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Errorf("429 response missing Retry-After")
+	}
+
+	close(release)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("pinned request %d: status %d", i, code)
+		}
+	}
+	s.testHook = nil
+	if w := get(t, s.Handler(), "/query?class=nurse&param=wardNo=1&q="+url.QueryEscape("//name")); w.Code != http.StatusOK {
+		t.Errorf("post-drain request: status %d", w.Code)
+	}
+	st := s.Stats().Server
+	if st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("InFlight = %d after drain", st.InFlight)
+	}
+}
+
+// TestDeadline504: a 1ms budget on an expensive query over a large
+// document comes back 504 well within the handler's own clock (the
+// evaluators poll deadlines cooperatively).
+func TestDeadline504(t *testing.T) {
+	s := newTestServer(t, Config{}, 28)
+	h := s.Handler()
+	q := url.QueryEscape("//*[//name]//*[//name]//name")
+	start := time.Now()
+	w := get(t, h, "/query?class=nurse&param=wardNo=1&q="+q+"&timeout=1ms")
+	elapsed := time.Since(start)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %.120q)", w.Code, w.Body.String())
+	}
+	if elapsed >= 100*time.Millisecond {
+		t.Errorf("deadline response took %v, want well under 100ms", elapsed)
+	}
+	if st := s.Stats().Server; st.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1", st.Timeouts)
+	}
+	// Same query with a generous budget succeeds — the cancelled run left
+	// the class engine and its plan cache usable.
+	w = get(t, h, "/query?class=nurse&param=wardNo=1&q="+q+"&timeout=30s")
+	if w.Code != http.StatusOK {
+		t.Errorf("retry status = %d (body %.120q)", w.Code, w.Body.String())
+	}
+}
+
+// TestStatszShape: /statsz decodes as JSON with the server section, the
+// latency histogram, and per-class engine stats from the layers below.
+func TestStatszShape(t *testing.T) {
+	s := newTestServer(t, Config{}, 4)
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		if w := get(t, h, "/query?class=nurse&param=wardNo=1&q="+url.QueryEscape("//patient/name")); w.Code != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, w.Code)
+		}
+	}
+	w := get(t, h, "/statsz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("statsz status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var got Statsz
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatalf("statsz does not decode: %v\n%s", err, w.Body.String())
+	}
+	sv := got.Server
+	if sv.Requests != 3 || sv.OK != 3 {
+		t.Errorf("requests/ok = %d/%d, want 3/3", sv.Requests, sv.OK)
+	}
+	if sv.Latency.Count != 3 || len(sv.Latency.Buckets) != len(latencyBucketNames) {
+		t.Errorf("latency section: %+v", sv.Latency)
+	}
+	var total uint64
+	for _, n := range sv.Latency.Buckets {
+		total += n
+	}
+	if total != sv.Latency.Count {
+		t.Errorf("histogram buckets sum to %d, count %d", total, sv.Latency.Count)
+	}
+	if sv.DocumentNodes == 0 || sv.DocumentHeight == 0 {
+		t.Errorf("document fields empty: %+v", sv)
+	}
+	if len(got.Classes) != 1 || got.Classes[0].Class != "nurse" {
+		t.Fatalf("classes = %+v", got.Classes)
+	}
+	cl := got.Classes[0]
+	if len(cl.Bindings) != 1 {
+		t.Fatalf("bindings = %+v", cl.Bindings)
+	}
+	eng := cl.Bindings[0].Engine
+	if eng.Queries != 3 || eng.PlanCache.Misses != 1 || eng.PlanCache.Hits != 2 {
+		t.Errorf("engine stats: %+v", eng)
+	}
+}
+
+// TestHealthz: the liveness endpoint answers without touching the
+// query path.
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{}, 3)
+	w := get(t, s.Handler(), "/healthz")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Errorf("healthz: %d %q", w.Code, w.Body.String())
+	}
+}
+
+// TestTimeoutClamp: an explicit timeout above MaxTimeout is clamped, and
+// a config with no default still caps requests at MaxTimeout.
+func TestTimeoutClamp(t *testing.T) {
+	cfg := Config{DefaultTimeout: -1, MaxTimeout: time.Nanosecond}
+	s := newTestServer(t, cfg, 3)
+	h := s.Handler()
+	// No explicit timeout: the 1ns hard cap still applies, so the query
+	// must come back 504 rather than running unbounded.
+	w := get(t, h, "/query?class=nurse&param=wardNo=1&q="+url.QueryEscape("//name"))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Errorf("capped default: status = %d, want 504", w.Code)
+	}
+	// Explicit timeout above the cap is clamped to it.
+	w = get(t, h, "/query?class=nurse&param=wardNo=1&q="+url.QueryEscape("//name")+"&timeout=10s")
+	if w.Code != http.StatusGatewayTimeout {
+		t.Errorf("clamped explicit: status = %d, want 504", w.Code)
+	}
+}

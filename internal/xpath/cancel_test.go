@@ -1,0 +1,160 @@
+package xpath_test
+
+// Cancellation suite: evaluation under a done context must return the
+// context's error promptly — even mid-descent on a large document — and
+// the parallel evaluator must drain its worker pool so no goroutine
+// outlives the call.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// chainDoc builds a deep document: a spine of n s-elements, each also
+// carrying a leaf child. Chained //* queries over it are superlinear,
+// which makes evaluation slow enough to cancel mid-flight.
+func chainDoc(n int) *xmltree.Document {
+	root := xmltree.NewElement("s")
+	cur := root
+	for i := 0; i < n; i++ {
+		leaf := xmltree.NewText(fmt.Sprintf("v%d", i))
+		l := xmltree.NewElement("leaf")
+		l.AppendChild(leaf)
+		cur.AppendChild(l)
+		next := xmltree.NewElement("s")
+		cur.AppendChild(next)
+		cur = next
+	}
+	return xmltree.NewDocument(root)
+}
+
+// slowQuery is expensive over chainDoc: each //* step re-walks every
+// subtree of the spine.
+func slowQuery(t *testing.T) xpath.Path {
+	t.Helper()
+	p, err := xpath.Parse("//*[//leaf]//*[//leaf]//leaf")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+// sequentialBudget asserts the evaluation took well under 100ms — the
+// promptness bound from the serving layer's point of view.
+func assertPrompt(t *testing.T, elapsed time.Duration) {
+	t.Helper()
+	if elapsed >= 100*time.Millisecond {
+		t.Errorf("cancelled evaluation took %v, want well under 100ms", elapsed)
+	}
+}
+
+func TestEvalDocCtxDeadlinePrompt(t *testing.T) {
+	doc := chainDoc(1500)
+	p := slowQuery(t)
+
+	// Sanity: uncancelled evaluation is genuinely slow (otherwise the
+	// promptness assertion below proves nothing).
+	start := time.Now()
+	if _, err := xpath.EvalDocCtx(nil, p, doc); err != nil {
+		t.Fatalf("uncancelled eval: %v", err)
+	}
+	full := time.Since(start)
+	if full < 5*time.Millisecond {
+		t.Skipf("document too fast to test cancellation meaningfully (%v)", full)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	_, err := xpath.EvalDocCtx(ctx, p, doc)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	assertPrompt(t, elapsed)
+}
+
+func TestEvalDocCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := xpath.EvalDocCtx(ctx, xpath.MustParse("//leaf"), chainDoc(5))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled eval returned %d nodes", len(res))
+	}
+}
+
+func TestEvalDocParallelCtxCancelMidFlight(t *testing.T) {
+	doc := chainDoc(1500)
+	p := slowQuery(t)
+	cfg := xpath.ParallelConfig{Workers: 4, Threshold: 64}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	var stats xpath.ParallelStats
+	start := time.Now()
+	_, err := xpath.EvalDocParallelCtx(ctx, p, doc, cfg, &stats)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	assertPrompt(t, elapsed)
+}
+
+// TestEvalDocParallelCtxNoGoroutineLeak: repeated cancelled parallel
+// evaluations must not leave workers behind — EvalDocParallelCtx drains
+// its pool before returning.
+func TestEvalDocParallelCtxNoGoroutineLeak(t *testing.T) {
+	doc := chainDoc(800)
+	p := slowQuery(t)
+	cfg := xpath.ParallelConfig{Workers: 8, Threshold: 32}
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		_, err := xpath.EvalDocParallelCtx(ctx, p, doc, cfg, nil)
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("iteration %d: unexpected error %v", i, err)
+		}
+	}
+	// Give any stragglers a moment to exit before counting, then allow a
+	// small delta for runtime background goroutines.
+	time.Sleep(50 * time.Millisecond)
+	after := runtime.NumGoroutine()
+	if after > before+2 {
+		t.Errorf("goroutines grew from %d to %d across 20 cancelled parallel evals", before, after)
+	}
+}
+
+// TestEvalDocParallelCtxCompletesUncancelled: a context that never fires
+// must not perturb results.
+func TestEvalDocParallelCtxCompletesUncancelled(t *testing.T) {
+	doc := chainDoc(300)
+	p := slowQuery(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	want, err := xpath.EvalDocErr(p, doc)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	got, err := xpath.EvalDocParallelCtx(ctx, p, doc, xpath.ParallelConfig{Workers: 4, Threshold: 64}, nil)
+	if err != nil {
+		t.Fatalf("parallel with live context: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("context-carrying eval changed the answer: %d vs %d nodes", len(got), len(want))
+	}
+}

@@ -1,0 +1,248 @@
+package xpath_test
+
+// Differential property suite: on randomized (DTD, document, query)
+// triples, the parallel evaluator must agree with the sequential one
+// exactly — same node set, same document order, no duplicates — across
+// worker counts and partition thresholds. Hand-written equivalence cases
+// only cover the query shapes their authors thought of; the randomized
+// sweep pins the ≡ down across the whole fragment, including the
+// degenerate shapes (∅, ε, deep unions, qualifier nests) that tend to
+// hide partitioning bugs. Run it under -race to make it a concurrency
+// check too.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/xmlgen"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// randomDTDSource emits a small random DTD in the compact syntax:
+// element types e0..ek where ei's production draws children from the
+// types after it (always terminating), as a sequence, a choice, a star,
+// or #PCDATA. The last two types are always text so every shape can
+// bottom out.
+func randomDTDSource(r *rand.Rand) string {
+	n := 4 + r.Intn(5) // 4..8 element types
+	name := func(i int) string { return fmt.Sprintf("e%d", i) }
+	src := "root e0\n"
+	for i := 0; i < n; i++ {
+		if i >= n-2 {
+			src += name(i) + " -> #PCDATA\n"
+			continue
+		}
+		pick := func() string { return name(i + 1 + r.Intn(n-i-1)) }
+		switch r.Intn(4) {
+		case 0: // star of one child type
+			src += name(i) + " -> " + pick() + "*\n"
+		case 1: // choice
+			a, b := pick(), pick()
+			for b == a {
+				b = pick()
+			}
+			src += name(i) + " -> " + a + " + " + b + "\n"
+		case 2: // sequence, possibly with starred items
+			k := 1 + r.Intn(3)
+			if avail := n - i - 1; k > avail {
+				k = avail // distinct types to draw from run out near the tail
+			}
+			seen := map[string]bool{}
+			var items []string
+			for len(items) < k {
+				c := pick()
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				if r.Intn(3) == 0 {
+					c += "*"
+				}
+				items = append(items, c)
+			}
+			src += name(i) + " -> " + join(items) + "\n"
+		default: // text interior node
+			src += name(i) + " -> #PCDATA\n"
+		}
+	}
+	return src
+}
+
+func join(items []string) string {
+	out := items[0]
+	for _, s := range items[1:] {
+		out += ", " + s
+	}
+	return out
+}
+
+// randPath draws a random query AST over the DTD's labels. depth bounds
+// the recursion so queries stay evaluable.
+func randPath(r *rand.Rand, labels []string, depth int) xpath.Path {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return xpath.Self{}
+		case 1:
+			return xpath.Wildcard{}
+		default:
+			return xpath.Label{Name: labels[r.Intn(len(labels))]}
+		}
+	}
+	switch r.Intn(10) {
+	case 0:
+		return xpath.Empty{}
+	case 1:
+		return xpath.Self{}
+	case 2:
+		return xpath.Wildcard{}
+	case 3, 4:
+		return xpath.Label{Name: labels[r.Intn(len(labels))]}
+	case 5:
+		return xpath.Seq{Left: randPath(r, labels, depth-1), Right: randPath(r, labels, depth-1)}
+	case 6:
+		return xpath.Descend{Sub: randPath(r, labels, depth-1)}
+	case 7:
+		return xpath.Union{Left: randPath(r, labels, depth-1), Right: randPath(r, labels, depth-1)}
+	default:
+		return xpath.Qualified{Sub: randPath(r, labels, depth-1), Cond: randQual(r, labels, depth-1)}
+	}
+}
+
+func randQual(r *rand.Rand, labels []string, depth int) xpath.Qual {
+	if depth <= 0 {
+		return xpath.QPath{Path: xpath.Label{Name: labels[r.Intn(len(labels))]}}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return xpath.QTrue{}
+	case 1:
+		return xpath.QFalse{}
+	case 2:
+		// xmlgen's default Value hook yields v0..v9, so some of these hit.
+		return xpath.QEq{Path: randPath(r, labels, depth-1), Value: fmt.Sprintf("v%d", r.Intn(10))}
+	case 3:
+		return xpath.QAnd{Left: randQual(r, labels, depth-1), Right: randQual(r, labels, depth-1)}
+	case 4:
+		return xpath.QOr{Left: randQual(r, labels, depth-1), Right: randQual(r, labels, depth-1)}
+	case 5:
+		return xpath.QNot{Sub: randQual(r, labels, depth-1)}
+	default:
+		return xpath.QPath{Path: randPath(r, labels, depth-1)}
+	}
+}
+
+// assertSortedUnique fails if nodes are out of document order or
+// duplicated — the evaluator's output invariant.
+func assertSortedUnique(t *testing.T, label string, nodes []*xmltree.Node) {
+	t.Helper()
+	seen := make(map[*xmltree.Node]bool, len(nodes))
+	for i, n := range nodes {
+		if seen[n] {
+			t.Fatalf("%s: duplicate node %s at position %d", label, n.Path(), i)
+		}
+		seen[n] = true
+		if i > 0 && nodes[i-1].Ord() >= n.Ord() {
+			t.Fatalf("%s: out of document order at position %d", label, i)
+		}
+	}
+}
+
+// TestDifferentialParallelVsSequential sweeps ~200 randomized (DTD,
+// document, query) triples and a grid of parallel configurations.
+func TestDifferentialParallelVsSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(20260806))
+	configs := []xpath.ParallelConfig{
+		{Threshold: -1, Workers: 1},
+		{Threshold: -1, Workers: 4},
+		{Threshold: 64, Workers: 2},
+		{}, // defaults: threshold gate usually keeps small docs sequential
+	}
+	triples := 0
+	for triples < 200 {
+		src := randomDTDSource(r)
+		d, err := dtd.Parse(src)
+		if err != nil {
+			t.Fatalf("random DTD does not parse: %v\n%s", err, src)
+		}
+		doc := xmlgen.Generate(d, xmlgen.Config{
+			Seed:      r.Int63(),
+			MinRepeat: 1,
+			MaxRepeat: 2 + r.Intn(3),
+			MaxDepth:  6,
+		})
+		if doc.Size() > 1500 {
+			// Random star chains occasionally explode; nested Descend
+			// qualifiers are superlinear, so cap the document to keep the
+			// 200-triple sweep fast. The large-doc partitioning paths get
+			// their own dedicated test below.
+			continue
+		}
+		labels := append(d.Types(), xpath.TextName)
+		for q := 0; q < 5; q++ {
+			triples++
+			p := randPath(r, labels, 3)
+			want, seqErr := xpath.EvalDocErr(p, doc)
+			if seqErr != nil {
+				t.Fatalf("sequential eval error on %s: %v", xpath.String(p), seqErr)
+			}
+			assertSortedUnique(t, "sequential "+xpath.String(p), want)
+			for _, cfg := range configs {
+				var stats xpath.ParallelStats
+				got, err := xpath.EvalDocParallel(p, doc, cfg, &stats)
+				if err != nil {
+					t.Fatalf("parallel eval error (cfg %+v) on %s: %v", cfg, xpath.String(p), err)
+				}
+				assertSortedUnique(t, fmt.Sprintf("parallel %+v %s", cfg, xpath.String(p)), got)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("parallel ≠ sequential (cfg %+v)\nquery: %s\ngot %d nodes, want %d\nDTD:\n%s",
+						cfg, xpath.String(p), len(got), len(want), src)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialLargeDocPartitioning repeats the check on documents
+// big enough to cross the default threshold, so the partitioned Descend
+// and qualifier paths run for real (not just with Threshold: -1).
+func TestDifferentialLargeDocPartitioning(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	src := `
+root e0
+e0 -> e1*
+e1 -> e2, e3*
+e2 -> e4*
+e3 -> e4, e5
+e4 -> e5*
+e5 -> #PCDATA
+`
+	d := dtd.MustParse(src)
+	doc := xmlgen.Generate(d, xmlgen.Config{Seed: 7, MinRepeat: 2, MaxRepeat: 9, MaxDepth: 10})
+	if doc.Size() < xpath.DefaultParallelThreshold {
+		t.Fatalf("generated doc too small to exercise partitioning: %d nodes", doc.Size())
+	}
+	labels := append(d.Types(), xpath.TextName)
+	for i := 0; i < 25; i++ {
+		p := randPath(r, labels, 2)
+		want, err := xpath.EvalDocErr(p, doc)
+		if err != nil {
+			t.Fatalf("sequential: %v", err)
+		}
+		for _, cfg := range []xpath.ParallelConfig{{}, {Workers: 3, Threshold: 128}} {
+			var stats xpath.ParallelStats
+			got, err := xpath.EvalDocParallel(p, doc, cfg, &stats)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parallel ≠ sequential on %s (cfg %+v): got %d want %d nodes",
+					xpath.String(p), cfg, len(got), len(want))
+			}
+		}
+	}
+}

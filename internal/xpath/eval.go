@@ -1,7 +1,9 @@
 package xpath
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/xmltree"
 )
@@ -34,11 +36,7 @@ func EvalAt(p Path, ctx []*xmltree.Node) []*xmltree.Node {
 
 // EvalAtErr is EvalAt returning an error instead of panicking.
 func EvalAtErr(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
-	out, err := evalPath(p, ctx)
-	if err != nil {
-		return nil, err
-	}
-	return xmltree.SortDocOrder(out), nil
+	return EvalAtCtx(nil, p, ctx)
 }
 
 // EvalDoc evaluates a query over a whole document, using the document
@@ -55,9 +53,110 @@ func EvalDocErr(p Path, doc *xmltree.Document) ([]*xmltree.Node, error) {
 	return EvalErr(p, doc.Root)
 }
 
-func evalPath(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
+// EvalDocCtx is EvalDocErr honoring a context: evaluation checks for
+// cancellation cooperatively (at every path step, and periodically inside
+// descendant walks and qualifier-filter loops) and returns ctx.Err() once
+// the context is done. A nil context disables the checks.
+func EvalDocCtx(ctx context.Context, p Path, doc *xmltree.Document) ([]*xmltree.Node, error) {
+	return EvalAtCtx(ctx, p, []*xmltree.Node{doc.Root})
+}
+
+// EvalAtCtx is EvalAtErr honoring a context; see EvalDocCtx.
+func EvalAtCtx(ctx context.Context, p Path, nodes []*xmltree.Node) ([]*xmltree.Node, error) {
+	e := newSeqEval(ctx)
+	if err := e.cancelled(); err != nil {
+		return nil, err
+	}
+	out, err := e.path(p, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return xmltree.SortDocOrder(out), nil
+}
+
+// EvalQualCtx is EvalQualErr honoring a context; see EvalDocCtx.
+func EvalQualCtx(ctx context.Context, q Qual, v *xmltree.Node) (bool, error) {
+	e := newSeqEval(ctx)
+	if err := e.cancelled(); err != nil {
+		return false, err
+	}
+	return e.qual(q, v)
+}
+
+// tickMask sets the cooperative cancellation poll rate: one ctx.Done()
+// check per tickMask+1 ticks. Ticks fire once per path step and once per
+// node in the hot loops (descendant collection, qualifier filtering), so
+// a 1ms deadline is noticed within microseconds even mid-step on a large
+// document, while the common uncancellable evaluation pays one counter
+// increment per tick.
+const tickMask = 127
+
+// seqEval is one sequential evaluation: the optional cancellation
+// context and the tick counter that rate-limits polling it. A seqEval is
+// used by a single goroutine; the parallel evaluator creates one per
+// worker rather than sharing.
+type seqEval struct {
+	ctx      context.Context
+	ticks    uint
+	deadline time.Time
+	timed    bool
+}
+
+// newSeqEval captures the context's deadline once so every poll can
+// compare against the clock directly; see pollCtx.
+func newSeqEval(ctx context.Context) *seqEval {
+	e := &seqEval{ctx: ctx}
+	if ctx != nil {
+		e.deadline, e.timed = ctx.Deadline()
+	}
+	return e
+}
+
+// pollCtx reports whether the context is done, without blocking. Beyond
+// the ctx.Done() select it also checks an expired deadline against the
+// clock: the runtime timer that closes Done can lag the deadline by tens
+// of milliseconds when a CPU-bound evaluation monopolizes a single-P
+// scheduler, and a deadline the caller set must cut the query off even
+// then.
+func pollCtx(ctx context.Context, deadline time.Time, timed bool) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	if timed && !time.Now().Before(deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// tick advances the poll counter and reports ctx.Err() when the context
+// is done. It is cheap enough for per-node loops.
+func (e *seqEval) tick() error {
+	if e.ctx == nil {
+		return nil
+	}
+	e.ticks++
+	if e.ticks&tickMask != 0 {
+		return nil
+	}
+	return e.cancelled()
+}
+
+// cancelled polls the context immediately (no tick rate limit).
+func (e *seqEval) cancelled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return pollCtx(e.ctx, e.deadline, e.timed)
+}
+
+func (e *seqEval) path(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 	if len(ctx) == 0 {
 		return nil, nil
+	}
+	if err := e.tick(); err != nil {
+		return nil, err
 	}
 	switch p := p.(type) {
 	case Empty:
@@ -85,20 +184,24 @@ func evalPath(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 		}
 		return out, nil
 	case Seq:
-		mid, err := evalPath(p.Left, ctx)
+		mid, err := e.path(p.Left, ctx)
 		if err != nil {
 			return nil, err
 		}
-		return evalPath(p.Right, xmltree.SortDocOrder(mid))
+		return e.path(p.Right, xmltree.SortDocOrder(mid))
 	case Descend:
 		// descendant-or-self, then p.Sub.
-		return evalPath(p.Sub, descendantOrSelf(ctx))
-	case Union:
-		left, err := evalPath(p.Left, ctx)
+		dos, err := e.descendantOrSelf(ctx)
 		if err != nil {
 			return nil, err
 		}
-		right, err := evalPath(p.Right, ctx)
+		return e.path(p.Sub, dos)
+	case Union:
+		left, err := e.path(p.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.path(p.Right, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -108,13 +211,16 @@ func evalPath(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 		// impossible to leak duplicates through a new consumer.
 		return xmltree.SortDocOrder(append(left, right...)), nil
 	case Qualified:
-		mid, err := evalPath(p.Sub, ctx)
+		mid, err := e.path(p.Sub, ctx)
 		if err != nil {
 			return nil, err
 		}
 		var out []*xmltree.Node
 		for _, v := range xmltree.SortDocOrder(mid) {
-			hold, err := EvalQualErr(p.Cond, v)
+			if err := e.tick(); err != nil {
+				return nil, err
+			}
+			hold, err := e.qual(p.Cond, v)
 			if err != nil {
 				return nil, err
 			}
@@ -129,21 +235,36 @@ func evalPath(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 }
 
 // descendantOrSelf collects the context nodes and all their descendants
-// in document order without duplicates.
-func descendantOrSelf(ctx []*xmltree.Node) []*xmltree.Node {
+// in document order without duplicates, polling for cancellation as it
+// walks.
+func (e *seqEval) descendantOrSelf(ctx []*xmltree.Node) ([]*xmltree.Node, error) {
+	var walkErr error
 	var dos []*xmltree.Node
 	seen := make(map[*xmltree.Node]bool)
 	for _, v := range ctx {
 		v.Walk(func(n *xmltree.Node) bool {
-			if seen[n] {
+			if walkErr != nil || seen[n] {
+				return false
+			}
+			if walkErr = e.tick(); walkErr != nil {
 				return false
 			}
 			seen[n] = true
 			dos = append(dos, n)
 			return true
 		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
 	}
-	return xmltree.SortDocOrder(dos)
+	return xmltree.SortDocOrder(dos), nil
+}
+
+// descendantOrSelf is the context-free form used where cancellation is
+// handled by the caller (the parallel evaluator's partition step).
+func descendantOrSelf(ctx []*xmltree.Node) []*xmltree.Node {
+	dos, _ := (&seqEval{}).descendantOrSelf(ctx)
+	return dos
 }
 
 // EvalQual evaluates a qualifier at a context node (the paper's "[q]
@@ -160,19 +281,23 @@ func EvalQual(q Qual, v *xmltree.Node) bool {
 // EvalQualErr is EvalQual returning an error instead of panicking on
 // unbound $variables or malformed AST nodes.
 func EvalQualErr(q Qual, v *xmltree.Node) (bool, error) {
+	return (&seqEval{}).qual(q, v)
+}
+
+func (e *seqEval) qual(q Qual, v *xmltree.Node) (bool, error) {
 	switch q := q.(type) {
 	case QTrue:
 		return true, nil
 	case QFalse:
 		return false, nil
 	case QPath:
-		res, err := evalPath(q.Path, []*xmltree.Node{v})
+		res, err := e.path(q.Path, []*xmltree.Node{v})
 		return len(res) > 0, err
 	case QEq:
 		if q.Var != "" {
 			return false, fmt.Errorf("unbound variable $%s in qualifier", q.Var)
 		}
-		res, err := evalPath(q.Path, []*xmltree.Node{v})
+		res, err := e.path(q.Path, []*xmltree.Node{v})
 		if err != nil {
 			return false, err
 		}
@@ -189,19 +314,19 @@ func EvalQualErr(q Qual, v *xmltree.Node) (bool, error) {
 		_, ok := v.Attr(q.Name)
 		return ok, nil
 	case QAnd:
-		left, err := EvalQualErr(q.Left, v)
+		left, err := e.qual(q.Left, v)
 		if err != nil || !left {
 			return false, err
 		}
-		return EvalQualErr(q.Right, v)
+		return e.qual(q.Right, v)
 	case QOr:
-		left, err := EvalQualErr(q.Left, v)
+		left, err := e.qual(q.Left, v)
 		if err != nil || left {
 			return left, err
 		}
-		return EvalQualErr(q.Right, v)
+		return e.qual(q.Right, v)
 	case QNot:
-		hold, err := EvalQualErr(q.Sub, v)
+		hold, err := e.qual(q.Sub, v)
 		return !hold && err == nil, err
 	default:
 		return false, fmt.Errorf("EvalQual: unknown qualifier node %T", q)

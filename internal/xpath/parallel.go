@@ -1,9 +1,11 @@
 package xpath
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/xmltree"
 )
@@ -68,49 +70,88 @@ func (s *ParallelStats) Snapshot() (sequential, parallel, unionForks, partitions
 // out over a bounded worker pool. Documents smaller than the threshold
 // take the sequential path unchanged. stats may be nil.
 func EvalDocParallel(p Path, doc *xmltree.Document, cfg ParallelConfig, stats *ParallelStats) ([]*xmltree.Node, error) {
+	return EvalDocParallelCtx(nil, p, doc, cfg, stats)
+}
+
+// EvalDocParallelCtx is EvalDocParallel honoring a context: every worker
+// polls for cancellation cooperatively (at path steps, partition
+// boundaries, and inside per-node loops) and the evaluation returns
+// ctx.Err() once the context is done, after draining the in-flight
+// workers so no goroutine outlives the call. A nil context disables the
+// checks.
+func EvalDocParallelCtx(ctx context.Context, p Path, doc *xmltree.Document, cfg ParallelConfig, stats *ParallelStats) ([]*xmltree.Node, error) {
 	if doc.Size() < cfg.threshold() {
 		if stats != nil {
 			stats.SequentialEvals.Add(1)
 		}
-		return EvalDocErr(p, doc)
+		return EvalDocCtx(ctx, p, doc)
 	}
-	return EvalAtParallel(p, []*xmltree.Node{doc.Root}, cfg, stats)
+	return EvalAtParallelCtx(ctx, p, []*xmltree.Node{doc.Root}, cfg, stats)
 }
 
 // EvalAtParallel evaluates at a set of context nodes like EvalAtErr,
 // with parallel union fan-out and descendant partitioning. The gate is
 // the total subtree size under the context nodes. stats may be nil.
 func EvalAtParallel(p Path, ctx []*xmltree.Node, cfg ParallelConfig, stats *ParallelStats) ([]*xmltree.Node, error) {
+	return EvalAtParallelCtx(nil, p, ctx, cfg, stats)
+}
+
+// EvalAtParallelCtx is EvalAtParallel honoring a context; see
+// EvalDocParallelCtx.
+func EvalAtParallelCtx(ctx context.Context, p Path, nodes []*xmltree.Node, cfg ParallelConfig, stats *ParallelStats) ([]*xmltree.Node, error) {
 	thresh := cfg.threshold()
 	size := 0
-	for _, v := range ctx {
+	for _, v := range nodes {
 		size += v.DescendantCount() + 1
 	}
 	if size < thresh {
 		if stats != nil {
 			stats.SequentialEvals.Add(1)
 		}
-		return EvalAtErr(p, ctx)
+		return EvalAtCtx(ctx, p, nodes)
 	}
 	if stats != nil {
 		stats.ParallelEvals.Add(1)
 	}
-	e := &pEval{sem: make(chan struct{}, cfg.workers()), threshold: thresh, stats: stats}
-	out, err := e.eval(p, ctx)
+	e := &pEval{ctx: ctx, sem: make(chan struct{}, cfg.workers()), threshold: thresh, stats: stats}
+	if ctx != nil {
+		e.deadline, e.timed = ctx.Deadline()
+	}
+	if err := e.cancelled(); err != nil {
+		return nil, err
+	}
+	out, err := e.eval(p, nodes)
 	if err != nil {
 		return nil, err
 	}
 	return xmltree.SortDocOrder(out), nil
 }
 
-// pEval is one parallel evaluation: a token bucket bounding extra
-// goroutines, the partition granularity, and optional counters. The
-// document tree is read-only during evaluation, so workers share it
-// freely; every intermediate slice is goroutine-local.
+// pEval is one parallel evaluation: the cancellation context, a token
+// bucket bounding extra goroutines, the partition granularity, and
+// optional counters. The document tree is read-only during evaluation,
+// so workers share it freely; every intermediate slice is
+// goroutine-local, and each worker polls the shared context through its
+// own seqEval so cancellation needs no cross-goroutine coordination
+// beyond ctx.Done().
 type pEval struct {
+	ctx       context.Context
 	sem       chan struct{}
 	threshold int
 	stats     *ParallelStats
+	deadline  time.Time
+	timed     bool
+}
+
+// cancelled polls the evaluation's context (deadline-aware; see pollCtx).
+// It is called at every path step and before every partition chunk, so a
+// cancelled evaluation stops descending promptly; in-flight workers
+// notice through their own per-goroutine polls.
+func (e *pEval) cancelled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return pollCtx(e.ctx, e.deadline, e.timed)
 }
 
 // tryAcquire claims a worker token without blocking; callers that get
@@ -131,6 +172,9 @@ func (e *pEval) eval(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 	if len(ctx) == 0 {
 		return nil, nil
 	}
+	if err := e.cancelled(); err != nil {
+		return nil, err
+	}
 	switch p := p.(type) {
 	case Seq:
 		mid, err := e.eval(p.Left, ctx)
@@ -139,7 +183,11 @@ func (e *pEval) eval(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 		}
 		return e.eval(p.Right, xmltree.SortDocOrder(mid))
 	case Descend:
-		return e.evalChunked(p.Sub, descendantOrSelf(ctx))
+		dos, err := newSeqEval(e.ctx).descendantOrSelf(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return e.evalChunked(p.Sub, dos)
 	case Union:
 		if e.tryAcquire() {
 			if e.stats != nil {
@@ -184,7 +232,7 @@ func (e *pEval) eval(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 		// Leaf steps (Empty, Self, Label, Wildcard) have no inner
 		// parallelism; the sequential evaluator handles them and any
 		// unknown node's error.
-		return evalPath(p, ctx)
+		return newSeqEval(e.ctx).path(p, ctx)
 	}
 }
 
@@ -217,9 +265,15 @@ func (e *pEval) evalChunked(sub Path, nodes []*xmltree.Node) ([]*xmltree.Node, e
 // paths, so this is where p[q] spends its time.
 func (e *pEval) filterChunked(q Qual, mid []*xmltree.Node) ([]*xmltree.Node, error) {
 	filter := func(nodes []*xmltree.Node) ([]*xmltree.Node, error) {
+		// One seqEval per chunk: the tick counter must stay
+		// goroutine-local.
+		se := newSeqEval(e.ctx)
 		var out []*xmltree.Node
 		for _, v := range nodes {
-			hold, err := EvalQualErr(q, v)
+			if err := se.tick(); err != nil {
+				return nil, err
+			}
+			hold, err := se.qual(q, v)
 			if err != nil {
 				return nil, err
 			}
@@ -275,7 +329,11 @@ func (e *pEval) split(nodes []*xmltree.Node) [][]*xmltree.Node {
 }
 
 // forEachChunk runs fn(i) for every chunk, using a goroutine per chunk
-// when a worker token is free and the calling goroutine otherwise.
+// when a worker token is free and the calling goroutine otherwise. It
+// always waits for every dispatched goroutine before returning — on
+// cancellation the chunks themselves fail fast (fn leads back to eval or
+// filter, both of which poll the context), so the drain is prompt and no
+// worker outlives the evaluation.
 func (e *pEval) forEachChunk(chunks [][]*xmltree.Node, fn func(i int)) {
 	var wg sync.WaitGroup
 	for i := 1; i < len(chunks); i++ {
