@@ -19,6 +19,19 @@ check: build
 bench:
 	$(GO) test -run xxx -bench . -benchtime 100x .
 
+# loadsmoke drives the in-process hospital server through a short ramp
+# and fails (exit 2) if overload is reached without the admitted-latency
+# bound holding. CI runs this; `make loadbench` is the longer run that
+# regenerates the committed BENCH_svload.json.
+.PHONY: loadsmoke loadbench
+loadsmoke:
+	$(GO) run ./cmd/svload -builtin hospital -levels 4,16,64 -duration 500ms \
+		-timeout 250ms -max-inflight 8 -out /dev/null
+
+loadbench:
+	$(GO) run ./cmd/svload -builtin hospital -levels 4,16,64 -duration 2s \
+		-timeout 250ms -max-inflight 16 -out BENCH_svload.json
+
 # fuzz-smoke gives every fuzz target a short budget (go test accepts one
 # -fuzz pattern per invocation, hence the one-target-per-line shape).
 # CI runs this; locally, raise FUZZTIME for a deeper pass.

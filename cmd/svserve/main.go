@@ -23,12 +23,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -58,6 +63,8 @@ func main() {
 		parallel    = flag.Bool("parallel", false, "evaluate with the parallel worker-pool evaluator")
 		workers     = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 		threshold   = flag.Int("threshold", 0, "parallel-evaluation size threshold (0 = default)")
+		headerWait  = flag.Duration("read-header-timeout", 5*time.Second, "how long a connection may take to send its request headers")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
 		classes     classFlags
 	)
 	flag.Var(&classes, "class", "define a user class from an annotation file, e.g. -class nurse=nurse.ann (repeatable)")
@@ -93,11 +100,36 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxInFlight:    *maxInFlight,
 	})
+	// A configured http.Server rather than bare ListenAndServe: the
+	// header timeout unpins connections from clients that never finish
+	// their request line, and the signal handler drains in-flight
+	// queries instead of dropping them mid-evaluation — load-test cycles
+	// (start, drive, SIGTERM, read counters) depend on both.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *headerWait,
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		sig := <-sigs
+		log.Printf("svserve: %v: draining in-flight queries (up to %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("svserve: drain incomplete: %v", err)
+		}
+	}()
 	log.Printf("svserve: serving %s (%d nodes, height %d) for classes %v on %s",
 		*docPath, doc.Size(), doc.Height(), reg.Names(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	<-drained
+	log.Printf("svserve: shut down cleanly")
 }
 
 // buildRegistry assembles the user classes: either a built-in scenario

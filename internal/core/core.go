@@ -40,6 +40,12 @@ const (
 	DefaultHeightCacheCapacity = 64
 )
 
+// ErrUnboundVars marks queries rejected at plan time because they still
+// contain unbound $variables — the caller's fault (a missing parameter
+// binding), which servers report as a client error rather than an
+// internal failure. Test with errors.Is.
+var ErrUnboundVars = errors.New("query has unbound variables")
+
 // Config tunes an engine's serving layer. The zero value gives the
 // defaults: bounded caches, sequential evaluation.
 type Config struct {
@@ -204,7 +210,7 @@ func (e *Engine) heightClass(height int) int {
 // cache.
 func (e *Engine) prepared(p xpath.Path, height int) (*Prepared, error) {
 	if vars := xpath.Vars(p); len(vars) > 0 {
-		return nil, fmt.Errorf("core: query has unbound variables %v; bind them with xpath.BindVars before querying", vars)
+		return nil, fmt.Errorf("core: %w %v; bind them with xpath.BindVars before querying", ErrUnboundVars, vars)
 	}
 	text := xpath.String(p)
 	key := strconv.Itoa(e.heightClass(height)) + "\x00" + text

@@ -1,0 +1,194 @@
+// Package latency is the shared online latency accounting used by the
+// serving layer (/statsz) and the load generator: a fixed geometric
+// bucket ladder fine enough for percentile estimation, a lock-free
+// Digest safe for concurrent Observe calls, and histogram-interpolation
+// quantile estimates (p50/p95/p99) that stay honest by carrying the
+// exact observed maximum for the open-ended top bucket.
+package latency
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Bounds are the inclusive upper bounds of the histogram buckets; the
+// implicit last bucket is +inf. The ladder is geometric (×~2.5 per rung)
+// from 100µs to 10s, fine enough that interpolated percentiles are
+// within one rung of the truth across the range a query server cares
+// about.
+var Bounds = [...]time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// NumBuckets is the bucket count including the +inf bucket.
+const NumBuckets = len(Bounds) + 1
+
+// BucketNames label the buckets in JSON output, in bucket order.
+var BucketNames = [NumBuckets]string{
+	"le_100us", "le_250us", "le_500us", "le_1ms", "le_2500us", "le_5ms",
+	"le_10ms", "le_25ms", "le_50ms", "le_100ms", "le_250ms", "le_500ms",
+	"le_1s", "le_2500ms", "le_5s", "le_10s", "inf",
+}
+
+// Digest is an online latency accumulator: count, sum, exact max, and
+// the bucket histogram. The zero value is ready to use and all methods
+// are safe for concurrent use.
+type Digest struct {
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+	maxUs   atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one latency.
+func (d *Digest) Observe(v time.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	us := uint64(v.Microseconds())
+	d.count.Add(1)
+	d.sumUs.Add(us)
+	for {
+		old := d.maxUs.Load()
+		if us <= old || d.maxUs.CompareAndSwap(old, us) {
+			break
+		}
+	}
+	d.buckets[bucketIndex(v)].Add(1)
+}
+
+func bucketIndex(v time.Duration) int {
+	for i, bound := range Bounds {
+		if v <= bound {
+			return i
+		}
+	}
+	return len(Bounds)
+}
+
+// Snapshot is a point-in-time copy of a Digest, suitable for JSON
+// encoding and quantile estimation. Buckets are in ladder order
+// (BucketNames gives the labels).
+type Snapshot struct {
+	Count   uint64             `json:"count"`
+	SumUs   uint64             `json:"sum_us"`
+	MaxUs   uint64             `json:"max_us"`
+	Buckets [NumBuckets]uint64 `json:"-"`
+}
+
+// Snapshot copies the digest's counters. Concurrent Observe calls may
+// land between the individual loads, so the bucket sum can momentarily
+// run ahead of or behind Count by in-flight observations; quiescent
+// digests are exact.
+func (d *Digest) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = d.count.Load()
+	s.SumUs = d.sumUs.Load()
+	s.MaxUs = d.maxUs.Load()
+	for i := range d.buckets {
+		s.Buckets[i] = d.buckets[i].Load()
+	}
+	return s
+}
+
+// MeanUs returns the mean latency in microseconds (0 when empty).
+func (s Snapshot) MeanUs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumUs) / float64(s.Count)
+}
+
+// QuantileUs estimates the q-quantile (0 < q ≤ 1) in microseconds by
+// linear interpolation inside the bucket holding the rank. The top
+// (open-ended) bucket interpolates toward the exact observed maximum,
+// and every estimate is clamped to it, so the estimate never exceeds a
+// latency that actually happened. Returns 0 for an empty digest.
+func (s Snapshot) QuantileUs(q float64) float64 {
+	total := uint64(0)
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) < rank {
+			cum += n
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(Bounds[i-1].Microseconds())
+		}
+		hi := float64(s.MaxUs)
+		if i < len(Bounds) {
+			hi = float64(Bounds[i].Microseconds())
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - float64(cum)) / float64(n)
+		est := lo + (hi-lo)*frac
+		if max := float64(s.MaxUs); est > max {
+			est = max
+		}
+		return est
+	}
+	return float64(s.MaxUs)
+}
+
+// Summary is the compact JSON report of a digest: count/mean/max plus
+// the standard percentile triplet. Microsecond units throughout.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  uint64  `json:"max_us"`
+}
+
+// Summarize computes the Summary of a snapshot.
+func (s Snapshot) Summarize() Summary {
+	return Summary{
+		Count:  s.Count,
+		MeanUs: s.MeanUs(),
+		P50Us:  s.QuantileUs(0.50),
+		P95Us:  s.QuantileUs(0.95),
+		P99Us:  s.QuantileUs(0.99),
+		MaxUs:  s.MaxUs,
+	}
+}
+
+// BucketMap renders the histogram as a name→count map for JSON output.
+func (s Snapshot) BucketMap() map[string]uint64 {
+	m := make(map[string]uint64, NumBuckets)
+	for i, name := range BucketNames {
+		m[name] = s.Buckets[i]
+	}
+	return m
+}

@@ -1,0 +1,483 @@
+// Package loadgen drives a serve.Server-shaped /query endpoint with
+// sustained concurrent traffic and accounts for what comes back. It is
+// the measurement side of the serving stack: the paper (§6) measures
+// single-query rewriting and evaluation cost, and this package measures
+// the property the paper cannot — that under overload, admission
+// control (429) keeps the latency of the queries the server did admit
+// bounded.
+//
+// Two generator shapes are provided. The closed loop fixes the number
+// of outstanding requests (each of N workers issues its next request
+// only when the previous one answers), which is how saturation is
+// usually ramped. The open loop fires requests on a fixed arrival
+// schedule regardless of completions, which is how latency under a
+// given offered rate is measured without coordinated omission.
+//
+// Every request is classified by outcome (200/400/429/500/504,
+// transport error) and observed into online latency digests — one over
+// everything, one over admitted requests only (everything the server
+// let past admission control, i.e. every outcome but 429), and one per
+// mix entry — so a report can show both the rejection rate and the
+// admitted-latency bound that makes the rejections worthwhile.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/latency"
+)
+
+// Outcome classifies one request's result.
+type Outcome int
+
+const (
+	// OK is a 200 with a result envelope.
+	OK Outcome = iota
+	// BadRequest is a 400: the client's fault (bad query, bad params).
+	BadRequest
+	// Rejected is a 429 from admission control — the only outcome that
+	// does not count as admitted.
+	Rejected
+	// Internal is a 5xx other than 504: the server's fault.
+	Internal
+	// Timeout is a 504: the query was admitted but its deadline expired.
+	Timeout
+	// Transport is a request that failed below HTTP (dial/read error).
+	Transport
+	// Other is any status not covered above (e.g. 499).
+	Other
+	numOutcomes
+)
+
+// Classify maps an HTTP status code to an Outcome.
+func Classify(status int) Outcome {
+	switch {
+	case status == http.StatusOK:
+		return OK
+	case status == http.StatusBadRequest:
+		return BadRequest
+	case status == http.StatusTooManyRequests:
+		return Rejected
+	case status == http.StatusGatewayTimeout:
+		return Timeout
+	case status >= 500:
+		return Internal
+	}
+	return Other
+}
+
+// Admitted reports whether the outcome got past admission control (the
+// server spent evaluation capacity on it). 429s are refused before
+// evaluation; transport errors never reached the server.
+func (o Outcome) Admitted() bool { return o != Rejected && o != Transport }
+
+// Target abstracts where requests go: an in-process handler or a live
+// server over TCP. Implementations must be safe for concurrent use.
+type Target interface {
+	// Query issues one /query request and returns the HTTP status.
+	Query(class, query string, params map[string]string, timeout time.Duration) (int, error)
+}
+
+// HandlerTarget drives an http.Handler in process — no sockets, so the
+// measurement isolates the serving stack from the kernel's network
+// path. This is what the load smoke in CI uses.
+type HandlerTarget struct{ Handler http.Handler }
+
+func (t HandlerTarget) Query(class, query string, params map[string]string, timeout time.Duration) (int, error) {
+	req, err := http.NewRequest("GET", "/query?"+queryValues(class, query, params, timeout).Encode(), nil)
+	if err != nil {
+		return 0, err
+	}
+	rec := &statusRecorder{}
+	t.Handler.ServeHTTP(rec, req)
+	return rec.status(), nil
+}
+
+// URLTarget drives a running server (svserve) over HTTP.
+type URLTarget struct {
+	BaseURL string
+	// Client defaults to a client with no overall timeout (the server
+	// bounds each query; the transport dial timeout still applies).
+	Client *http.Client
+}
+
+func (t URLTarget) Query(class, query string, params map[string]string, timeout time.Duration) (int, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(t.BaseURL + "/query?" + queryValues(class, query, params, timeout).Encode())
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func queryValues(class, query string, params map[string]string, timeout time.Duration) url.Values {
+	v := url.Values{}
+	v.Set("class", class)
+	v.Set("q", query)
+	for name, value := range params {
+		v.Add("param", name+"="+value)
+	}
+	if timeout > 0 {
+		v.Set("timeout", timeout.String())
+	}
+	return v
+}
+
+// statusRecorder is the minimal http.ResponseWriter HandlerTarget
+// needs: it keeps the status code and discards the body.
+type statusRecorder struct {
+	header http.Header
+	code   int
+}
+
+func (r *statusRecorder) Header() http.Header {
+	if r.header == nil {
+		r.header = make(http.Header)
+	}
+	return r.header
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return len(b), nil
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *statusRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+// Config tunes one load run at one level.
+type Config struct {
+	// Mix is the weighted query mix; it must be nonempty.
+	Mix Mix
+	// Duration bounds the run (default 1s).
+	Duration time.Duration
+	// Concurrency is the closed-loop worker count (default 1). Ignored
+	// when RateRPS is set.
+	Concurrency int
+	// RateRPS switches to the open loop: requests are issued on a fixed
+	// schedule at this offered rate, regardless of completions.
+	RateRPS float64
+	// MaxOutstanding caps concurrently outstanding open-loop requests
+	// so a stalled target cannot accumulate unbounded goroutines;
+	// arrivals past the cap are counted as Dropped, not issued. Default
+	// 4096. Ignored by the closed loop (Concurrency is the cap).
+	MaxOutstanding int
+	// Timeout is the per-request deadline passed to the server
+	// (?timeout=). Zero lets the server's default apply; deadline
+	// accounting (DeadlineViolations) is only possible when set.
+	Timeout time.Duration
+	// RejectBackoff is how long a closed-loop worker pauses after a 429
+	// before retrying, honoring the server's Retry-After contract in
+	// miniature. Without it, rejected workers spin at memory speed and
+	// the resulting scheduler pressure starves the very requests
+	// admission control admitted — measuring the generator's retry DoS,
+	// not the server. 0 means 1ms; negative disables the pause (to
+	// observe exactly that pathology). The open loop never retries, so
+	// it ignores this.
+	RejectBackoff time.Duration
+	// Seed makes the mix schedule deterministic.
+	Seed int64
+}
+
+func (c Config) duration() time.Duration {
+	if c.Duration > 0 {
+		return c.Duration
+	}
+	return time.Second
+}
+
+func (c Config) concurrency() int {
+	if c.Concurrency > 0 {
+		return c.Concurrency
+	}
+	return 1
+}
+
+func (c Config) maxOutstanding() int {
+	if c.MaxOutstanding > 0 {
+		return c.MaxOutstanding
+	}
+	return 4096
+}
+
+func (c Config) rejectBackoff() time.Duration {
+	switch {
+	case c.RejectBackoff > 0:
+		return c.RejectBackoff
+	case c.RejectBackoff < 0:
+		return 0
+	}
+	return time.Millisecond
+}
+
+// Result is the accounting of one run.
+type Result struct {
+	// Mode is "closed" or "open".
+	Mode string `json:"mode"`
+	// Concurrency is the closed-loop worker count (0 for open loop).
+	Concurrency int `json:"concurrency,omitempty"`
+	// OfferedRPS is the open-loop arrival rate (0 for closed loop).
+	OfferedRPS float64 `json:"offered_rps,omitempty"`
+	// Elapsed is the measured wall time of the run.
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	// Requests counts everything issued (and, for the open loop,
+	// Dropped counts arrivals skipped at the MaxOutstanding cap — they
+	// are not in Requests).
+	Requests uint64 `json:"requests"`
+	Dropped  uint64 `json:"dropped,omitempty"`
+
+	// Per-outcome counts. OK+BadRequests+Rejected+Internal+Timeouts+
+	// TransportErrors+Other == Requests.
+	OK              uint64 `json:"ok"`
+	BadRequests     uint64 `json:"bad_requests"`
+	Rejected        uint64 `json:"rejected"`
+	Internal        uint64 `json:"internal_errors"`
+	Timeouts        uint64 `json:"timeouts"`
+	TransportErrors uint64 `json:"transport_errors"`
+	Other           uint64 `json:"other"`
+
+	// ThroughputRPS is completed requests (all outcomes) per second;
+	// GoodputRPS counts only 200s.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+
+	// All digests every request; Admitted digests only the requests
+	// that got past admission control (everything but 429 and transport
+	// failures) — the population whose latency the 429 path exists to
+	// protect.
+	All      latency.Summary `json:"latency_all"`
+	Admitted latency.Summary `json:"latency_admitted"`
+
+	// DeadlineViolations counts admitted requests whose observed
+	// latency exceeded the configured per-request deadline by more than
+	// the cooperative-polling grace (an honest server answers 504 at
+	// the deadline, so only real overshoot counts).
+	DeadlineViolations uint64 `json:"deadline_violations"`
+	// DeadlineNs echoes the deadline the violations are against.
+	DeadlineNs int64 `json:"deadline_ns,omitempty"`
+
+	// PerClass breaks requests and admitted latency down by mix entry,
+	// sorted by name.
+	PerClass []ClassResult `json:"per_class"`
+}
+
+// ClassResult is the per-mix-entry slice of a Result.
+type ClassResult struct {
+	Name     string          `json:"name"`
+	Requests uint64          `json:"requests"`
+	OK       uint64          `json:"ok"`
+	Rejected uint64          `json:"rejected"`
+	Timeouts uint64          `json:"timeouts"`
+	Admitted latency.Summary `json:"latency_admitted"`
+}
+
+// deadlineGrace is how far past the deadline an admitted request may
+// answer before it counts as a violation: the evaluators poll deadlines
+// cooperatively, so a 504 completes at deadline+ε where ε is poll
+// granularity plus scheduling noise, not at the deadline exactly.
+const deadlineGrace = 50 * time.Millisecond
+
+// recorder accumulates one run's accounting; all methods are safe for
+// concurrent use.
+type recorder struct {
+	requests   uint64
+	dropped    uint64
+	outcomes   [numOutcomes]atomic.Uint64
+	violations atomic.Uint64
+	all        latency.Digest
+	admitted   latency.Digest
+
+	perClass []*classRecorder
+}
+
+type classRecorder struct {
+	requests atomic.Uint64
+	outcomes [numOutcomes]atomic.Uint64
+	admitted latency.Digest
+}
+
+func newRecorder(mix Mix) *recorder {
+	r := &recorder{perClass: make([]*classRecorder, len(mix))}
+	for i := range r.perClass {
+		r.perClass[i] = &classRecorder{}
+	}
+	return r
+}
+
+func (r *recorder) record(classIdx int, o Outcome, lat, deadline time.Duration) {
+	atomic.AddUint64(&r.requests, 1)
+	r.outcomes[o].Add(1)
+	r.all.Observe(lat)
+	c := r.perClass[classIdx]
+	c.requests.Add(1)
+	c.outcomes[o].Add(1)
+	if o.Admitted() {
+		r.admitted.Observe(lat)
+		c.admitted.Observe(lat)
+		if deadline > 0 && lat > deadline+deadlineGrace {
+			r.violations.Add(1)
+		}
+	}
+}
+
+func (r *recorder) result(mix Mix, elapsed time.Duration, deadline time.Duration) Result {
+	res := Result{
+		Elapsed:            elapsed,
+		Requests:           atomic.LoadUint64(&r.requests),
+		Dropped:            atomic.LoadUint64(&r.dropped),
+		OK:                 r.outcomes[OK].Load(),
+		BadRequests:        r.outcomes[BadRequest].Load(),
+		Rejected:           r.outcomes[Rejected].Load(),
+		Internal:           r.outcomes[Internal].Load(),
+		Timeouts:           r.outcomes[Timeout].Load(),
+		TransportErrors:    r.outcomes[Transport].Load(),
+		Other:              r.outcomes[Other].Load(),
+		All:                r.all.Snapshot().Summarize(),
+		Admitted:           r.admitted.Snapshot().Summarize(),
+		DeadlineViolations: r.violations.Load(),
+		DeadlineNs:         int64(deadline),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.ThroughputRPS = float64(res.Requests) / secs
+		res.GoodputRPS = float64(res.OK) / secs
+	}
+	for i, entry := range mix {
+		c := r.perClass[i]
+		res.PerClass = append(res.PerClass, ClassResult{
+			Name:     entry.Name,
+			Requests: c.requests.Load(),
+			OK:       c.outcomes[OK].Load(),
+			Rejected: c.outcomes[Rejected].Load(),
+			Timeouts: c.outcomes[Timeout].Load(),
+			Admitted: c.admitted.Snapshot().Summarize(),
+		})
+	}
+	sort.Slice(res.PerClass, func(i, j int) bool { return res.PerClass[i].Name < res.PerClass[j].Name })
+	return res
+}
+
+// Run drives the target with the configured load until the duration
+// elapses or ctx is cancelled, whichever is first, and returns the
+// accounting. The closed loop is the default; set Config.RateRPS for
+// the open loop.
+func Run(ctx context.Context, target Target, cfg Config) (Result, error) {
+	if len(cfg.Mix) == 0 {
+		return Result{}, fmt.Errorf("loadgen: empty query mix")
+	}
+	if cfg.RateRPS > 0 {
+		return runOpen(ctx, target, cfg)
+	}
+	return runClosed(ctx, target, cfg)
+}
+
+// issue sends one request for the mix entry, records it, and returns
+// the outcome so the closed loop can back off after rejections.
+func issue(target Target, rec *recorder, cfg Config, classIdx int) Outcome {
+	entry := cfg.Mix[classIdx]
+	start := time.Now()
+	status, err := target.Query(entry.Class, entry.Query, entry.Params, cfg.Timeout)
+	lat := time.Since(start)
+	o := Transport
+	if err == nil {
+		o = Classify(status)
+	}
+	rec.record(classIdx, o, lat, cfg.Timeout)
+	return o
+}
+
+// runClosed fixes the number of outstanding requests at Concurrency:
+// each worker issues back-to-back, so the instantaneous offered
+// concurrency equals the worker count and saturation is reached exactly
+// when that exceeds the server's admission limit.
+func runClosed(ctx context.Context, target Target, cfg Config) (Result, error) {
+	rec := newRecorder(cfg.Mix)
+	deadline := time.Now().Add(cfg.duration())
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			backoff := cfg.rejectBackoff()
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				if issue(target, rec, cfg, cfg.Mix.pick(rng)) == Rejected && backoff > 0 {
+					// Jitter the pause so rejected workers do not
+					// re-arrive in lockstep.
+					time.Sleep(backoff/2 + time.Duration(rng.Int63n(int64(backoff))))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return rec.result(cfg.Mix, time.Since(start), cfg.Timeout), ctx.Err()
+}
+
+// runOpen issues requests on a fixed schedule at RateRPS regardless of
+// completions (no coordinated omission: a slow server does not slow the
+// arrival process down). Outstanding requests are capped at
+// MaxOutstanding; arrivals past the cap are counted as dropped.
+func runOpen(ctx context.Context, target Target, cfg Config) (Result, error) {
+	rec := newRecorder(cfg.Mix)
+	interval := time.Duration(float64(time.Second) / cfg.RateRPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(cfg.duration())
+	slots := make(chan struct{}, cfg.maxOutstanding())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var wg sync.WaitGroup
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			classIdx := cfg.Mix.pick(rng)
+			select {
+			case slots <- struct{}{}:
+			default:
+				atomic.AddUint64(&rec.dropped, 1)
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				issue(target, rec, cfg, classIdx)
+			}()
+		}
+	}
+	wg.Wait()
+	return rec.result(cfg.Mix, time.Since(start), cfg.Timeout), ctx.Err()
+}

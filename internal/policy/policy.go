@@ -9,6 +9,7 @@ package policy
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,20 @@ import (
 	"repro/internal/plancache"
 	"repro/internal/xmltree"
 )
+
+// ErrUnknownClass marks requests naming a user class the registry does
+// not define — the client's fault. Test with errors.Is.
+var ErrUnknownClass = errors.New("unknown class")
+
+// BindingError marks a parameter-binding failure: the caller supplied a
+// binding the class's specification cannot accept (a missing or
+// malformed $parameter). It is the client's fault, distinguishing it
+// from view-derivation failures, which are the server's. Test with
+// errors.As.
+type BindingError struct{ Err error }
+
+func (e *BindingError) Error() string { return e.Err.Error() }
+func (e *BindingError) Unwrap() error { return e.Err }
 
 // DefaultEngineCacheCapacity bounds the per-class engine cache: each
 // distinct parameter binding ($wardNo=6 vs $wardNo=7) derives its own
@@ -126,7 +141,7 @@ func (c *Class) Engine(params map[string]string) (*core.Engine, error) {
 		if len(c.Params()) > 0 || len(params) > 0 {
 			bound, err := c.Spec.Bind(params)
 			if err != nil {
-				return nil, fmt.Errorf("policy: class %s: %v", c.Name, err)
+				return nil, fmt.Errorf("policy: class %s: %w", c.Name, &BindingError{Err: err})
 			}
 			spec = bound
 		}
@@ -189,7 +204,7 @@ func (r *Registry) Query(class string, params map[string]string, doc *xmltree.Do
 func (r *Registry) QueryCtx(ctx context.Context, class string, params map[string]string, doc *xmltree.Document, query string) ([]*xmltree.Node, error) {
 	c, ok := r.classes[class]
 	if !ok {
-		return nil, fmt.Errorf("policy: unknown class %q", class)
+		return nil, fmt.Errorf("policy: %w %q", ErrUnknownClass, class)
 	}
 	e, err := c.Engine(params)
 	if err != nil {
@@ -203,7 +218,7 @@ func (r *Registry) QueryCtx(ctx context.Context, class string, params map[string
 func (r *Registry) ViewDTD(class string, params map[string]string) (*dtd.DTD, error) {
 	c, ok := r.classes[class]
 	if !ok {
-		return nil, fmt.Errorf("policy: unknown class %q", class)
+		return nil, fmt.Errorf("policy: %w %q", ErrUnknownClass, class)
 	}
 	e, err := c.Engine(params)
 	if err != nil {

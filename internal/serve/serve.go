@@ -19,8 +19,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/latency"
 	"repro/internal/policy"
 	"repro/internal/xmltree"
+	"repro/internal/xpath"
 )
 
 // Defaults for the zero Config.
@@ -76,32 +79,25 @@ type Server struct {
 	cfg Config
 	sem chan struct{}
 
-	requests      atomic.Uint64
-	ok            atomic.Uint64
-	badRequests   atomic.Uint64
-	rejected      atomic.Uint64
-	timeouts      atomic.Uint64
-	clientCancels atomic.Uint64
-	inFlight      atomic.Int64
-	latCount      atomic.Uint64
-	latSumMicros  atomic.Uint64
-	latMaxMicros  atomic.Uint64
-	latBuckets    [len(latencyBounds) + 1]atomic.Uint64
-	started       time.Time
+	requests       atomic.Uint64
+	ok             atomic.Uint64
+	badRequests    atomic.Uint64
+	internalErrors atomic.Uint64
+	rejected       atomic.Uint64
+	timeouts       atomic.Uint64
+	clientCancels  atomic.Uint64
+	inFlight       atomic.Int64
+	lat            latency.Digest
+	started        time.Time
+
+	// query answers one admitted request; it defaults to the registry's
+	// QueryCtx and exists so tests can inject evaluation failures.
+	query func(ctx context.Context, class string, params map[string]string, doc *xmltree.Document, q string) ([]*xmltree.Node, error)
 
 	// testHook, when set, runs while the request holds its admission
 	// slot, before evaluation. Tests use it to pin requests in flight.
 	testHook func()
 }
-
-// latencyBounds are the upper bounds (inclusive) of the latency
-// histogram buckets; the implicit last bucket is +inf.
-var latencyBounds = [...]time.Duration{
-	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
-}
-
-// latencyBucketNames label the histogram buckets in /statsz output.
-var latencyBucketNames = [...]string{"le_1ms", "le_10ms", "le_100ms", "le_1s", "inf"}
 
 // New builds a server over a registry and the document it answers
 // queries against. The document must already conform to the registry's
@@ -113,6 +109,7 @@ func New(reg *policy.Registry, doc *xmltree.Document, cfg Config) *Server {
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.maxInFlight()),
 		started: time.Now(),
+		query:   reg.QueryCtx,
 	}
 }
 
@@ -188,8 +185,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	nodes, err := s.reg.QueryCtx(ctx, class, params, s.doc, query)
-	s.observeLatency(time.Since(start))
+	nodes, err := s.query(ctx, class, params, s.doc, query)
+	s.lat.Observe(time.Since(start))
 	switch {
 	case err == nil:
 		s.ok.Add(1)
@@ -203,9 +200,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// client-closed-request code).
 		s.clientCancels.Add(1)
 		w.WriteHeader(499)
-	default:
+	case clientFault(err):
 		s.badRequest(w, err)
+	default:
+		// The request was well-formed; the failure is the server's
+		// (derivation, rewriting, or evaluation broke). Reporting it as
+		// 400 would tell the client to stop retrying a query that is
+		// fine, and would hide server bugs from the error budget.
+		s.internalErrors.Add(1)
+		http.Error(w, fmt.Sprintf("internal error answering query: %v", err), http.StatusInternalServerError)
 	}
+}
+
+// clientFault reports whether a Registry.QueryCtx error is the client's
+// fault: a class the registry does not define, query syntax the parser
+// rejected, or a $parameter the request failed to bind. Everything else
+// — view derivation, rewriting, or evaluation failing on a well-formed
+// request — is the server's fault and must surface as a 5xx.
+func clientFault(err error) bool {
+	var parseErr *xpath.ParseError
+	var bindErr *policy.BindingError
+	return errors.Is(err, policy.ErrUnknownClass) ||
+		errors.Is(err, core.ErrUnboundVars) ||
+		errors.As(err, &parseErr) ||
+		errors.As(err, &bindErr)
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {
@@ -241,32 +259,21 @@ func parseParams(kvs []string) (map[string]string, error) {
 	return params, nil
 }
 
-func (s *Server) observeLatency(d time.Duration) {
-	us := uint64(d.Microseconds())
-	s.latCount.Add(1)
-	s.latSumMicros.Add(us)
-	for {
-		old := s.latMaxMicros.Load()
-		if us <= old || s.latMaxMicros.CompareAndSwap(old, us) {
-			break
-		}
-	}
-	for i, bound := range latencyBounds {
-		if d <= bound {
-			s.latBuckets[i].Add(1)
-			return
-		}
-	}
-	s.latBuckets[len(latencyBounds)].Add(1)
-}
-
-// LatencyStats is the /statsz latency section: a count/sum pair plus a
-// small fixed histogram (bucket upper bounds 1ms, 10ms, 100ms, 1s, +inf;
-// each observation lands in exactly one bucket).
+// LatencyStats is the /statsz latency section: a count/sum pair, the
+// exact observed maximum, histogram-derived percentile estimates, and
+// the full bucket histogram (the geometric ladder of latency.Bounds,
+// 100µs–10s plus +inf; each observation lands in exactly one bucket, so
+// the bucket counts sum to count).
 type LatencyStats struct {
-	Count     uint64            `json:"count"`
-	SumMicros uint64            `json:"sum_us"`
-	MaxMicros uint64            `json:"max_us"`
+	Count     uint64 `json:"count"`
+	SumMicros uint64 `json:"sum_us"`
+	MaxMicros uint64 `json:"max_us"`
+	// P50/P95/P99Micros are estimated from the histogram by linear
+	// interpolation within the rank's bucket (clamped to the observed
+	// max), so they are honest to within one bucket rung.
+	P50Micros float64           `json:"p50_us"`
+	P95Micros float64           `json:"p95_us"`
+	P99Micros float64           `json:"p99_us"`
 	Buckets   map[string]uint64 `json:"buckets"`
 }
 
@@ -275,6 +282,7 @@ type ServerStats struct {
 	Requests       uint64       `json:"requests"`
 	OK             uint64       `json:"ok"`
 	BadRequests    uint64       `json:"bad_requests"`
+	InternalErrors uint64       `json:"internal_errors"`
 	Rejected       uint64       `json:"rejected"`
 	Timeouts       uint64       `json:"timeouts"`
 	ClientCancels  uint64       `json:"client_cancels"`
@@ -296,15 +304,13 @@ type Statsz struct {
 
 // Stats snapshots the server and registry counters.
 func (s *Server) Stats() Statsz {
-	buckets := make(map[string]uint64, len(latencyBucketNames))
-	for i, name := range latencyBucketNames {
-		buckets[name] = s.latBuckets[i].Load()
-	}
+	lat := s.lat.Snapshot()
 	return Statsz{
 		Server: ServerStats{
 			Requests:       s.requests.Load(),
 			OK:             s.ok.Load(),
 			BadRequests:    s.badRequests.Load(),
+			InternalErrors: s.internalErrors.Load(),
 			Rejected:       s.rejected.Load(),
 			Timeouts:       s.timeouts.Load(),
 			ClientCancels:  s.clientCancels.Load(),
@@ -314,10 +320,13 @@ func (s *Server) Stats() Statsz {
 			DocumentNodes:  s.doc.Size(),
 			DocumentHeight: s.doc.Height(),
 			Latency: LatencyStats{
-				Count:     s.latCount.Load(),
-				SumMicros: s.latSumMicros.Load(),
-				MaxMicros: s.latMaxMicros.Load(),
-				Buckets:   buckets,
+				Count:     lat.Count,
+				SumMicros: lat.SumUs,
+				MaxMicros: lat.MaxUs,
+				P50Micros: lat.QuantileUs(0.50),
+				P95Micros: lat.QuantileUs(0.95),
+				P99Micros: lat.QuantileUs(0.99),
+				Buckets:   lat.BucketMap(),
 			},
 		},
 		Classes: s.reg.Stats(),

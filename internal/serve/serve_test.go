@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -14,8 +16,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dtds"
+	"repro/internal/latency"
 	"repro/internal/policy"
 	"repro/internal/xmlgen"
+	"repro/internal/xmltree"
 )
 
 // newTestServer builds a server over the hospital scenario: the unbound
@@ -211,8 +215,14 @@ func TestStatszShape(t *testing.T) {
 	if sv.Requests != 3 || sv.OK != 3 {
 		t.Errorf("requests/ok = %d/%d, want 3/3", sv.Requests, sv.OK)
 	}
-	if sv.Latency.Count != 3 || len(sv.Latency.Buckets) != len(latencyBucketNames) {
+	if sv.Latency.Count != 3 || len(sv.Latency.Buckets) != latency.NumBuckets {
 		t.Errorf("latency section: %+v", sv.Latency)
+	}
+	if !(sv.Latency.P50Micros <= sv.Latency.P95Micros && sv.Latency.P95Micros <= sv.Latency.P99Micros) {
+		t.Errorf("percentiles not ordered: %+v", sv.Latency)
+	}
+	if sv.Latency.P99Micros > float64(sv.Latency.MaxMicros) {
+		t.Errorf("p99 %v exceeds max %d", sv.Latency.P99Micros, sv.Latency.MaxMicros)
 	}
 	var total uint64
 	for _, n := range sv.Latency.Buckets {
@@ -234,6 +244,85 @@ func TestStatszShape(t *testing.T) {
 	eng := cl.Bindings[0].Engine
 	if eng.Queries != 3 || eng.PlanCache.Misses != 1 || eng.PlanCache.Hits != 2 {
 		t.Errorf("engine stats: %+v", eng)
+	}
+}
+
+// TestInternalErrorIs500: an engine-side failure on a well-formed
+// request is the server's fault — it must come back 500 and increment
+// internal_errors, not masquerade as a client 400.
+func TestInternalErrorIs500(t *testing.T) {
+	s := newTestServer(t, Config{}, 3)
+	s.query = func(context.Context, string, map[string]string, *xmltree.Document, string) ([]*xmltree.Node, error) {
+		return nil, errors.New("rewrite: internal invariant broken")
+	}
+	w := get(t, s.Handler(), "/query?class=nurse&param=wardNo=1&q="+url.QueryEscape("//name"))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (body %q)", w.Code, w.Body.String())
+	}
+	st := s.Stats().Server
+	if st.InternalErrors != 1 {
+		t.Errorf("InternalErrors = %d, want 1", st.InternalErrors)
+	}
+	if st.BadRequests != 0 {
+		t.Errorf("BadRequests = %d, want 0 (internal failure misreported as client fault)", st.BadRequests)
+	}
+}
+
+// TestClientFaultClassification: the real registry errors that are the
+// client's fault keep coming back 400 through the classifier, and none
+// of them bump internal_errors.
+func TestClientFaultClassification(t *testing.T) {
+	s := newTestServer(t, Config{}, 3)
+	h := s.Handler()
+	cases := []struct {
+		name, target string
+	}{
+		{"unknown class", "/query?class=admin&q=//name"},
+		{"parse error", "/query?class=nurse&param=wardNo=1&q=" + url.QueryEscape("//[")},
+		{"unbound param", "/query?class=nurse&q=//name"},
+		{"unbound query var", "/query?class=nurse&param=wardNo=1&q=" + url.QueryEscape(`//patient[wardNo = $other]`)},
+	}
+	for _, c := range cases {
+		if w := get(t, h, c.target); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %q)", c.name, w.Code, w.Body.String())
+		}
+	}
+	st := s.Stats().Server
+	if st.InternalErrors != 0 {
+		t.Errorf("InternalErrors = %d, want 0", st.InternalErrors)
+	}
+	if st.BadRequests != uint64(len(cases)) {
+		t.Errorf("BadRequests = %d, want %d", st.BadRequests, len(cases))
+	}
+}
+
+// TestHistogramSumsToCount: after a spread of requests (fast, slow, and
+// timed-out), every observation landed in exactly one bucket of the
+// finer ladder, so the bucket counts sum to latency.count.
+func TestHistogramSumsToCount(t *testing.T) {
+	s := newTestServer(t, Config{}, 8)
+	h := s.Handler()
+	targets := []string{
+		"/query?class=nurse&param=wardNo=1&q=" + url.QueryEscape("//patient/name"),
+		"/query?class=nurse&param=wardNo=2&q=" + url.QueryEscape("//dept//bill"),
+		"/query?class=nurse&param=wardNo=1&q=" + url.QueryEscape("//*[//name]//name") + "&timeout=1ms",
+		"/query?class=nurse&param=wardNo=3&q=" + url.QueryEscape("//staff/name"),
+	}
+	for i := 0; i < 3; i++ {
+		for _, target := range targets {
+			get(t, h, target)
+		}
+	}
+	lat := s.Stats().Server.Latency
+	if lat.Count != uint64(3*len(targets)) {
+		t.Fatalf("latency count = %d, want %d", lat.Count, 3*len(targets))
+	}
+	var total uint64
+	for _, n := range lat.Buckets {
+		total += n
+	}
+	if total != lat.Count {
+		t.Errorf("histogram buckets sum to %d, count %d", total, lat.Count)
 	}
 }
 

@@ -100,10 +100,15 @@ func EvalAtParallel(p Path, ctx []*xmltree.Node, cfg ParallelConfig, stats *Para
 // EvalDocParallelCtx.
 func EvalAtParallelCtx(ctx context.Context, p Path, nodes []*xmltree.Node, cfg ParallelConfig, stats *ParallelStats) ([]*xmltree.Node, error) {
 	thresh := cfg.threshold()
-	size := 0
-	for _, v := range nodes {
-		size += v.DescendantCount() + 1
-	}
+	// Sort and deduplicate a copy of the context set before sizing the
+	// gate: summing subtree sizes over the raw set double-counts when
+	// callers pass duplicates or overlapping nodes (an ancestor and its
+	// descendant), which would flip the gate to parallel on inputs that
+	// are really below threshold. Evaluation itself also gets the
+	// canonical set — the same normalization EvalAtCtx's result contract
+	// implies, since evaluation distributes over context-set union.
+	nodes = xmltree.SortDocOrder(append([]*xmltree.Node(nil), nodes...))
+	size := xmltree.CoverSize(nodes)
 	if size < thresh {
 		if stats != nil {
 			stats.SequentialEvals.Add(1)

@@ -105,6 +105,78 @@ func TestParallelCountersAdvance(t *testing.T) {
 	}
 }
 
+// TestParallelGateOverlappingContext: an overlapping context set (the
+// root plus nodes inside its subtree, plus outright duplicates) must be
+// sized by the union of the subtrees, not the sum — the raw sum here is
+// roughly 2× the document and would flip the parallel gate on an input
+// that is really below threshold.
+func TestParallelGateOverlappingContext(t *testing.T) {
+	doc := wideDoc(4, 40)
+	depts, err := EvalDocErr(MustParse("//dept"), doc)
+	if err != nil {
+		t.Fatalf("//dept: %v", err)
+	}
+	// root + every dept + the root again: the subtree union is exactly
+	// the document, but the naive sum is ~2×|doc|.
+	overlap := append([]*xmltree.Node{doc.Root}, depts...)
+	overlap = append(overlap, doc.Root)
+	sum := 0
+	for _, v := range overlap {
+		sum += v.DescendantCount() + 1
+	}
+	thresh := doc.Size() + 1 // union size is under this, the raw sum is not
+	if sum < thresh {
+		t.Fatalf("test setup: raw sum %d does not exceed threshold %d", sum, thresh)
+	}
+	var stats ParallelStats
+	got, err := EvalAtParallel(MustParse("//patient/name"), overlap, ParallelConfig{Threshold: thresh}, &stats)
+	if err != nil {
+		t.Fatalf("EvalAtParallel: %v", err)
+	}
+	seq, par, _, _ := stats.Snapshot()
+	if seq != 1 || par != 0 {
+		t.Errorf("overlapping context under threshold: sequential=%d parallel=%d, want 1/0", seq, par)
+	}
+	want, err := EvalAtErr(MustParse("//patient/name"), []*xmltree.Node{doc.Root})
+	if err != nil {
+		t.Fatalf("EvalAtErr: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("overlapping context: got %d nodes, want %d", len(got), len(want))
+	}
+}
+
+// TestParallelOverlappingContextMatchesSequential: with parallelism
+// forced on, a duplicated/overlapping context set must still produce the
+// sequential evaluator's answer (the set is canonicalized before
+// evaluation), and the caller's slice must not be reordered in place.
+func TestParallelOverlappingContextMatchesSequential(t *testing.T) {
+	doc := wideDoc(4, 40)
+	patients, err := EvalDocErr(MustParse("//patient"), doc)
+	if err != nil {
+		t.Fatalf("//patient: %v", err)
+	}
+	overlap := []*xmltree.Node{patients[3], doc.Root, patients[3], patients[0]}
+	orig := append([]*xmltree.Node(nil), overlap...)
+	for _, q := range []string{"//patient/name", "//patient[wardNo = \"3\"]/name", "(//bill | //medication)"} {
+		p := MustParse(q)
+		want, err := EvalAtErr(p, overlap)
+		if err != nil {
+			t.Fatalf("%q sequential: %v", q, err)
+		}
+		got, err := EvalAtParallel(p, overlap, ParallelConfig{Workers: 4, Threshold: -1}, nil)
+		if err != nil {
+			t.Fatalf("%q parallel: %v", q, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: parallel %d nodes, sequential %d", q, len(got), len(want))
+		}
+	}
+	if !reflect.DeepEqual(overlap, orig) {
+		t.Errorf("EvalAtParallel reordered the caller's context slice")
+	}
+}
+
 // TestParallelUnboundVarError: the parallel evaluator must return the
 // unbound-variable error, not panic, even from worker goroutines.
 func TestParallelUnboundVarError(t *testing.T) {

@@ -35,7 +35,7 @@ func Parse(src string) (Path, error) {
 	}
 	p.skipSpace()
 	if p.pos != len(p.src) {
-		return nil, fmt.Errorf("xpath: trailing input %q at offset %d", p.src[p.pos:], p.pos)
+		return nil, &ParseError{msg: fmt.Sprintf("xpath: trailing input %q at offset %d", p.src[p.pos:], p.pos)}
 	}
 	return path, nil
 }
@@ -58,7 +58,7 @@ func ParseQual(src string) (Qual, error) {
 	}
 	p.skipSpace()
 	if p.pos != len(p.src) {
-		return nil, fmt.Errorf("xpath: trailing input %q at offset %d", p.src[p.pos:], p.pos)
+		return nil, &ParseError{msg: fmt.Sprintf("xpath: trailing input %q at offset %d", p.src[p.pos:], p.pos)}
 	}
 	return q, nil
 }
@@ -94,8 +94,16 @@ func (p *parser) peek() byte {
 	return 0
 }
 
+// ParseError is the error type of Parse and ParseQual. Servers use it
+// to tell query-syntax errors (the client's fault) from internal
+// failures; the message is unchanged from the historical fmt.Errorf
+// form.
+type ParseError struct{ msg string }
+
+func (e *ParseError) Error() string { return e.msg }
+
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("xpath: %s (offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+	return &ParseError{msg: fmt.Sprintf("xpath: %s (offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)}
 }
 
 // parseUnion := parseSeq ('|' parseSeq)*
