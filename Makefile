@@ -32,6 +32,17 @@ loadbench:
 	$(GO) run ./cmd/svload -builtin hospital -levels 4,16,64 -duration 2s \
 		-timeout 250ms -max-inflight 16 -out BENCH_svload.json
 
+# netsmoke drives a real svserve over TCP (ReadHeaderTimeout, graceful
+# drain, /explainz on a recursive query, /metricsz validated by
+# promcheck); `make profile` captures a CPU profile from a loaded
+# server into profile.cpu.pprof.
+.PHONY: netsmoke profile
+netsmoke:
+	bash scripts/netsmoke.sh
+
+profile:
+	bash scripts/profile.sh
+
 # fuzz-smoke gives every fuzz target a short budget (go test accepts one
 # -fuzz pattern per invocation, hence the one-target-per-line shape).
 # CI runs this; locally, raise FUZZTIME for a deeper pass.

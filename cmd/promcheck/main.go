@@ -1,0 +1,48 @@
+// Command promcheck validates Prometheus text exposition (format
+// 0.0.4) read from stdin or from files given as arguments: every sample
+// parses, every family declares its TYPE before its samples, histogram
+// series carry cumulative le buckets ending in +Inf with _count equal
+// to the +Inf bucket. CI pipes /metricsz through it to assert the
+// endpoint stays scrapeable.
+//
+// Usage:
+//
+//	curl -s localhost:8344/metricsz | promcheck
+//	promcheck metrics.txt
+//
+// Exit status 0 when every input validates, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := obs.ValidateExposition(os.Stdin); err != nil {
+			fail("stdin", err)
+		}
+		fmt.Println("promcheck: stdin: ok")
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(path, err)
+		}
+		err = obs.ValidateExposition(f)
+		f.Close()
+		if err != nil {
+			fail(path, err)
+		}
+		fmt.Printf("promcheck: %s: ok\n", path)
+	}
+}
+
+func fail(src string, err error) {
+	fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", src, err)
+	os.Exit(1)
+}

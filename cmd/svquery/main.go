@@ -11,16 +11,20 @@
 //	svquery -view nurse.view -doc ward.xml -q '//patient'
 //
 // Flags -show-rewrite and -show-optimize print the intermediate queries;
-// -no-optimize skips the optimization pass; -indexed evaluates with the
-// label-index evaluator; -parallel evaluates with the worker-pool
-// evaluator (-workers bounds it); -stats prints the engine's plan-cache
-// and evaluation counters to stderr; -repeat re-runs the query to
-// exercise the plan cache; -timeout bounds each evaluation with a
-// deadline (a query that exceeds it fails with a context error).
+// -explain prints a JSON explain document instead of the result XML
+// (the intermediate queries plus fresh per-phase timings and the eval
+// mode — the CLI twin of the server's /explainz); -no-optimize skips
+// the optimization pass; -indexed evaluates with the label-index
+// evaluator; -parallel evaluates with the worker-pool evaluator
+// (-workers bounds it); -stats prints the engine's plan-cache and
+// evaluation counters to stderr; -repeat re-runs the query to exercise
+// the plan cache; -timeout bounds each evaluation with a deadline (a
+// query that exceeds it fails with a context error).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +47,7 @@ func main() {
 		query      = flag.String("q", "", "XPath query over the security view")
 		showRw     = flag.Bool("show-rewrite", false, "print the rewritten document query")
 		showOpt    = flag.Bool("show-optimize", false, "print the optimized document query")
+		explain    = flag.Bool("explain", false, "print a JSON explain (per-phase timings, intermediate queries, eval mode) instead of the result")
 		noOptimize = flag.Bool("no-optimize", false, "skip the DTD-based optimization pass")
 		indexed    = flag.Bool("indexed", false, "evaluate with the label-index evaluator")
 		parallel   = flag.Bool("parallel", false, "evaluate with the parallel worker-pool evaluator")
@@ -86,6 +91,25 @@ func main() {
 	p, err := xpath.Parse(*query)
 	if err != nil {
 		fatal(err)
+	}
+	if *explain {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		ex, err := engine.ExplainCtx(ctx, doc, p)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ex); err != nil {
+			fatal(err)
+		}
+		printStats(engine, *stats)
+		return
 	}
 	if *showRw || *showOpt || *noOptimize || *indexed {
 		pt, err := engine.Rewrite(p, doc.Height())

@@ -14,12 +14,19 @@
 //	GET /statsz   — JSON counters: server (requests, latency histogram,
 //	                timeouts, rejections) and per-class engine/plan-cache
 //	                stats from the layers below
-//	GET /healthz
+//	GET /metricsz — the same counters plus per-phase latency histograms
+//	                in Prometheus text exposition format
+//	GET /explainz — one query with fresh per-phase timings, the
+//	                intermediate query strings, and its span tree
+//	GET /tracez   — recent sampled request traces
+//	GET /healthz  — 200 while serving, 503 once drain has begun
+//	GET /debug/pprof/* — the runtime profiler
 //
 // Flags -timeout and -max-timeout bound each request's evaluation
 // deadline; -max-inflight caps concurrent evaluations; -parallel,
 // -workers, and -threshold tune the worker-pool evaluator handed to
-// every derived engine.
+// every derived engine; -trace-sample/-trace-ring tune request-trace
+// sampling and -slow-query the slow-query log threshold.
 package main
 
 import (
@@ -65,6 +72,9 @@ func main() {
 		threshold   = flag.Int("threshold", 0, "parallel-evaluation size threshold (0 = default)")
 		headerWait  = flag.Duration("read-header-timeout", 5*time.Second, "how long a connection may take to send its request headers")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
+		traceSample = flag.Int("trace-sample", 0, "keep a span tree for one request in N (0 = tracing off, 1 = every request)")
+		traceRing   = flag.Int("trace-ring", 0, "recent traces kept for /tracez (0 = default)")
+		slowQuery   = flag.Duration("slow-query", serve.DefaultSlowQuery, "log queries slower than this with per-phase timings (negative disables)")
 		classes     classFlags
 	)
 	flag.Var(&classes, "class", "define a user class from an annotation file, e.g. -class nurse=nurse.ann (repeatable)")
@@ -96,9 +106,12 @@ func main() {
 	}
 
 	srv := serve.New(reg, doc, serve.Config{
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxInFlight:    *maxInFlight,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxInFlight:        *maxInFlight,
+		TraceSampleEvery:   *traceSample,
+		TraceRingSize:      *traceRing,
+		SlowQueryThreshold: *slowQuery,
 	})
 	// A configured http.Server rather than bare ListenAndServe: the
 	// header timeout unpins connections from clients that never finish
@@ -117,6 +130,9 @@ func main() {
 		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 		sig := <-sigs
 		log.Printf("svserve: %v: draining in-flight queries (up to %v)", sig, *drain)
+		// Flip /healthz to 503 first so load balancers stop routing new
+		// work here while Shutdown waits for in-flight requests.
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

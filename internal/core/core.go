@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/dtd"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/plancache"
 	"repro/internal/rewrite"
@@ -179,11 +181,17 @@ func (e *Engine) Rewriter(height int) (*rewrite.Rewriter, error) {
 // Rewrite translates a view query into the equivalent document query p_t.
 // Recursive views need the height of the document the query will run on.
 func (e *Engine) Rewrite(p xpath.Path, height int) (xpath.Path, error) {
+	return e.RewriteCtx(context.Background(), p, height)
+}
+
+// RewriteCtx is Rewrite with observability: a context carrying a trace
+// span gets a "rewrite" child span (see rewrite.RewriteCtx).
+func (e *Engine) RewriteCtx(ctx context.Context, p xpath.Path, height int) (xpath.Path, error) {
 	r, err := e.Rewriter(height)
 	if err != nil {
 		return nil, err
 	}
-	return r.Rewrite(p)
+	return r.RewriteCtx(ctx, p)
 }
 
 // Optimize improves a document query using the document DTD's structural
@@ -207,20 +215,53 @@ func (e *Engine) heightClass(height int) int {
 // and caching it on a miss. Queries with unbound $variables are
 // rejected up front: depending on the document they would either error
 // mid-evaluation or silently match nothing, and neither belongs in the
-// cache.
-func (e *Engine) prepared(p xpath.Path, height int) (*Prepared, error) {
+// cache. A context carrying a QueryMetrics carrier gets the cache
+// outcome and, on a miss, the per-phase durations and plan shape; a
+// context carrying a span gets "rewrite"/"optimize" child spans. As
+// with GetOrCompute, concurrent misses on one key may build the plan
+// more than once and the last Put wins.
+func (e *Engine) prepared(ctx context.Context, p xpath.Path, height int) (*Prepared, error) {
 	if vars := xpath.Vars(p); len(vars) > 0 {
 		return nil, fmt.Errorf("core: %w %v; bind them with xpath.BindVars before querying", ErrUnboundVars, vars)
 	}
 	text := xpath.String(p)
 	key := strconv.Itoa(e.heightClass(height)) + "\x00" + text
-	return e.plans.GetOrCompute(key, func() (*Prepared, error) {
-		pt, err := e.Rewrite(p, height)
-		if err != nil {
-			return nil, err
+	qm := obs.QueryMetricsFromContext(ctx)
+	if prep, ok := e.plans.Get(key); ok {
+		if qm != nil {
+			qm.PlanCacheHit = true
+			if qm.CaptureQueries {
+				qm.Rewritten = xpath.String(prep.Rewritten)
+				qm.Optimized = xpath.String(prep.Optimized)
+			}
 		}
-		return &Prepared{Source: p, Rewritten: pt, Optimized: e.Optimize(pt)}, nil
-	})
+		obs.SpanFromContext(ctx).SetAttr("plan_cache", "hit")
+		return prep, nil
+	}
+	obs.SpanFromContext(ctx).SetAttr("plan_cache", "miss")
+	start := time.Now()
+	pt, err := e.RewriteCtx(ctx, p, height)
+	if err != nil {
+		return nil, err
+	}
+	rewriteDone := time.Now()
+	po := e.opt.OptimizeCtx(ctx, pt)
+	if qm != nil {
+		qm.Rewrite = rewriteDone.Sub(start)
+		qm.Optimize = time.Since(rewriteDone)
+		qm.RewrittenSize = xpath.Size(pt)
+		qm.OptimizedSize = xpath.Size(po)
+		if e.flat == nil {
+			qm.UnfoldHeight = height
+		}
+		if qm.CaptureQueries {
+			qm.Rewritten = xpath.String(pt)
+			qm.Optimized = xpath.String(po)
+		}
+	}
+	prep := &Prepared{Source: p, Rewritten: pt, Optimized: po}
+	e.plans.Put(key, prep)
+	return prep, nil
 }
 
 // Query answers a view query over a document: rewrite, optimize, and
@@ -241,7 +282,7 @@ func (e *Engine) Query(doc *xmltree.Document, p xpath.Path) ([]*xmltree.Node, er
 // cached plan.
 func (e *Engine) QueryCtx(ctx context.Context, doc *xmltree.Document, p xpath.Path) ([]*xmltree.Node, error) {
 	e.queries.Add(1)
-	prep, err := e.prepared(p, doc.Height())
+	prep, err := e.prepared(ctx, p, doc.Height())
 	if err != nil {
 		return nil, err
 	}
@@ -252,12 +293,59 @@ func (e *Engine) QueryCtx(ctx context.Context, doc *xmltree.Document, p xpath.Pa
 	return out, err
 }
 
+// evalPrepared runs the evaluation phase. When the context carries a
+// QueryMetrics carrier or a trace span it additionally reports the eval
+// mode actually taken, the work counters (sequential cooperation ticks,
+// or this call's union forks and partitions), and the phase duration;
+// a bare context takes the uninstrumented fast path unchanged.
 func (e *Engine) evalPrepared(ctx context.Context, prep *Prepared, doc *xmltree.Document) ([]*xmltree.Node, error) {
-	if e.cfg.Parallel {
-		return xpath.EvalDocParallelCtx(ctx, prep.Optimized, doc, e.cfg.ParallelConfig, &e.evalStats)
+	qm := obs.QueryMetricsFromContext(ctx)
+	_, sp := obs.StartSpan(ctx, "eval")
+	if qm == nil && sp == nil {
+		if e.cfg.Parallel {
+			return xpath.EvalDocParallelCtx(ctx, prep.Optimized, doc, e.cfg.ParallelConfig, &e.evalStats)
+		}
+		e.evalStats.SequentialEvals.Add(1)
+		return xpath.EvalDocCtx(ctx, prep.Optimized, doc)
 	}
-	e.evalStats.SequentialEvals.Add(1)
-	return xpath.EvalDocCtx(ctx, prep.Optimized, doc)
+	start := time.Now()
+	var out []*xmltree.Node
+	var err error
+	mode := obs.ModeSequential
+	if e.cfg.Parallel {
+		// A per-call local stats value reports this request's fan-out
+		// alone, then rolls up into the engine-wide aggregate.
+		var local xpath.ParallelStats
+		out, err = xpath.EvalDocParallelCtx(ctx, prep.Optimized, doc, e.cfg.ParallelConfig, &local)
+		e.evalStats.AddFrom(&local)
+		_, par, forks, parts := local.Snapshot()
+		if par > 0 {
+			mode = obs.ModeParallel
+		}
+		if qm != nil {
+			qm.UnionForks, qm.Partitions = forks, parts
+		}
+		sp.SetAttr("union_forks", forks)
+		sp.SetAttr("partitions", parts)
+	} else {
+		e.evalStats.SequentialEvals.Add(1)
+		var ticks uint64
+		out, ticks, err = xpath.EvalDocCtxCounted(ctx, prep.Optimized, doc)
+		if qm != nil {
+			qm.NodesVisited = ticks
+		}
+		sp.SetAttr("nodes_visited", ticks)
+	}
+	if qm != nil {
+		qm.Eval = time.Since(start)
+		qm.EvalMode = mode
+	}
+	if sp != nil {
+		sp.SetAttr("mode", mode)
+		sp.SetAttr("result_count", len(out))
+		sp.Finish()
+	}
+	return out, err
 }
 
 // QueryString is Query with parsing.
@@ -272,6 +360,111 @@ func (e *Engine) QueryStringCtx(ctx context.Context, doc *xmltree.Document, quer
 		return nil, err
 	}
 	return e.QueryCtx(ctx, doc, p)
+}
+
+// Explain is the end-to-end report of one freshly measured pipeline
+// run: the intermediate query strings and per-phase wall times behind
+// /explainz and svquery -explain. Durations are nanoseconds (the
+// internal unit everywhere; consumers divide for display).
+type Explain struct {
+	// Query, Rewritten, and Optimized are the view query and its two
+	// intermediate forms, printed.
+	Query     string `json:"query"`
+	Rewritten string `json:"rewritten"`
+	Optimized string `json:"optimized"`
+	// RewriteNs, OptimizeNs, and EvalNs are the fresh per-phase wall
+	// times. Explain bypasses the plan cache for rewrite and optimize —
+	// a cached plan would report hit-and-nothing-to-time — so these are
+	// what a cold request pays.
+	RewriteNs  int64 `json:"rewrite_ns"`
+	OptimizeNs int64 `json:"optimize_ns"`
+	EvalNs     int64 `json:"eval_ns"`
+	// RewrittenSize and OptimizedSize are AST sizes (xpath.Size).
+	RewrittenSize int `json:"rewritten_size"`
+	OptimizedSize int `json:"optimized_size"`
+	// EvalMode is what the evaluator actually did (obs.ModeSequential
+	// or obs.ModeParallel); NodesVisited / UnionForks / Partitions are
+	// its work counters for this run (see obs.QueryMetrics).
+	EvalMode     string `json:"eval_mode"`
+	NodesVisited uint64 `json:"nodes_visited,omitempty"`
+	UnionForks   uint64 `json:"union_forks,omitempty"`
+	Partitions   uint64 `json:"partitions,omitempty"`
+	ResultCount  int    `json:"result_count"`
+	// DocHeight is the document's height; UnfoldHeight is the height a
+	// recursive view was unfolded to for this document (0 for flat
+	// views); RecursiveView flags the view DTD as recursive.
+	DocHeight     int  `json:"doc_height"`
+	UnfoldHeight  int  `json:"unfold_height,omitempty"`
+	RecursiveView bool `json:"recursive_view"`
+	// PlanWasCached reports whether the serving path would have hit the
+	// plan cache for this query (explain re-measures regardless, and
+	// re-caches its fresh plan).
+	PlanWasCached bool `json:"plan_was_cached"`
+}
+
+// ExplainCtx answers a view query like QueryCtx while measuring every
+// phase fresh: rewrite and optimize run even when the plan cache holds
+// the query (the cache outcome is still reported), and the built plan
+// is cached for subsequent requests. A context carrying a trace span
+// gets the usual phase child spans.
+func (e *Engine) ExplainCtx(ctx context.Context, doc *xmltree.Document, p xpath.Path) (*Explain, error) {
+	if vars := xpath.Vars(p); len(vars) > 0 {
+		return nil, fmt.Errorf("core: %w %v; bind them with xpath.BindVars before querying", ErrUnboundVars, vars)
+	}
+	e.queries.Add(1)
+	height := doc.Height()
+	ex := &Explain{
+		Query:         xpath.String(p),
+		DocHeight:     height,
+		RecursiveView: e.view.IsRecursive(),
+	}
+	key := strconv.Itoa(e.heightClass(height)) + "\x00" + ex.Query
+	_, ex.PlanWasCached = e.plans.Get(key)
+	if e.flat == nil {
+		ex.UnfoldHeight = height
+	}
+	start := time.Now()
+	pt, err := e.RewriteCtx(ctx, p, height)
+	if err != nil {
+		return nil, err
+	}
+	ex.RewriteNs = time.Since(start).Nanoseconds()
+	ex.Rewritten = xpath.String(pt)
+	ex.RewrittenSize = xpath.Size(pt)
+	start = time.Now()
+	po := e.opt.OptimizeCtx(ctx, pt)
+	ex.OptimizeNs = time.Since(start).Nanoseconds()
+	ex.Optimized = xpath.String(po)
+	ex.OptimizedSize = xpath.Size(po)
+	prep := &Prepared{Source: p, Rewritten: pt, Optimized: po}
+	e.plans.Put(key, prep)
+	// Evaluate with a private carrier so the mode and work counters for
+	// this run are readable even when the caller installed none.
+	qm := &obs.QueryMetrics{}
+	start = time.Now()
+	out, err := e.evalPrepared(obs.WithQueryMetrics(ctx, qm), prep, doc)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.cancelled.Add(1)
+		}
+		return nil, err
+	}
+	ex.EvalNs = time.Since(start).Nanoseconds()
+	ex.EvalMode = qm.EvalMode
+	ex.NodesVisited = qm.NodesVisited
+	ex.UnionForks = qm.UnionForks
+	ex.Partitions = qm.Partitions
+	ex.ResultCount = len(out)
+	return ex, nil
+}
+
+// ExplainStringCtx is ExplainCtx with parsing.
+func (e *Engine) ExplainStringCtx(ctx context.Context, doc *xmltree.Document, query string) (*Explain, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExplainCtx(ctx, doc, p)
 }
 
 // Stats is a point-in-time snapshot of the engine's serving counters.
@@ -294,11 +487,17 @@ type Stats struct {
 	ParallelEvals   uint64 `json:"parallel_evals"`
 	UnionForks      uint64 `json:"union_forks"`
 	Partitions      uint64 `json:"partitions"`
+	// OptimizeRules and OptimizePruned count the optimizer's DTD-driven
+	// simplification decisions and the subtrees they removed (see
+	// optimize.Optimizer.Stats).
+	OptimizeRules  uint64 `json:"optimize_rules"`
+	OptimizePruned uint64 `json:"optimize_pruned"`
 }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
 	seq, par, forks, parts := e.evalStats.Snapshot()
+	rules, pruned := e.opt.Stats()
 	return Stats{
 		Queries:         e.queries.Load(),
 		Cancelled:       e.cancelled.Load(),
@@ -308,6 +507,8 @@ func (e *Engine) Stats() Stats {
 		ParallelEvals:   par,
 		UnionForks:      forks,
 		Partitions:      parts,
+		OptimizeRules:   rules,
+		OptimizePruned:  pruned,
 	}
 }
 
@@ -333,7 +534,7 @@ func (e *Engine) Prepare(p xpath.Path) (*Prepared, error) {
 	if e.flat == nil {
 		return nil, fmt.Errorf("core: Prepare needs a non-recursive view; use Rewrite with the document height")
 	}
-	return e.prepared(p, 0)
+	return e.prepared(context.Background(), p, 0)
 }
 
 // PrepareString parses and prepares in one step.

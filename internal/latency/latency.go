@@ -1,9 +1,16 @@
 // Package latency is the shared online latency accounting used by the
-// serving layer (/statsz) and the load generator: a fixed geometric
-// bucket ladder fine enough for percentile estimation, a lock-free
-// Digest safe for concurrent Observe calls, and histogram-interpolation
-// quantile estimates (p50/p95/p99) that stay honest by carrying the
-// exact observed maximum for the open-ended top bucket.
+// serving layer (/statsz, /metricsz), the observability registry, and
+// the load generator: a fixed geometric bucket ladder fine enough for
+// percentile estimation, a lock-free Digest safe for concurrent Observe
+// calls, and histogram-interpolation quantile estimates (p50/p95/p99)
+// that stay honest by carrying the exact observed maximum for the
+// open-ended top bucket.
+//
+// Units: everything internal is nanosecond-based (sums, maxima,
+// quantile arithmetic); microseconds and milliseconds exist only at the
+// edges (the /statsz JSON wire format and human-facing summaries via
+// the *Us accessors, CLI output). Consumers converting for display
+// divide at the edge rather than storing converted values.
 package latency
 
 import (
@@ -45,13 +52,15 @@ var BucketNames = [NumBuckets]string{
 	"le_1s", "le_2500ms", "le_5s", "le_10s", "inf",
 }
 
-// Digest is an online latency accumulator: count, sum, exact max, and
-// the bucket histogram. The zero value is ready to use and all methods
-// are safe for concurrent use.
+// Digest is an online latency accumulator: sum, exact max, and the
+// bucket histogram, all nanosecond-based. The count is not stored
+// separately — it is, by construction, the sum of the bucket counts, so
+// a snapshot's histogram always sums exactly to its count, even taken
+// mid-flight under concurrent Observe calls. The zero value is ready to
+// use and all methods are safe for concurrent use.
 type Digest struct {
-	count   atomic.Uint64
-	sumUs   atomic.Uint64
-	maxUs   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
 	buckets [NumBuckets]atomic.Uint64
 }
 
@@ -60,12 +69,11 @@ func (d *Digest) Observe(v time.Duration) {
 	if v < 0 {
 		v = 0
 	}
-	us := uint64(v.Microseconds())
-	d.count.Add(1)
-	d.sumUs.Add(us)
+	ns := uint64(v.Nanoseconds())
+	d.sumNs.Add(ns)
 	for {
-		old := d.maxUs.Load()
-		if us <= old || d.maxUs.CompareAndSwap(old, us) {
+		old := d.maxNs.Load()
+		if ns <= old || d.maxNs.CompareAndSwap(old, ns) {
 			break
 		}
 	}
@@ -83,43 +91,53 @@ func bucketIndex(v time.Duration) int {
 
 // Snapshot is a point-in-time copy of a Digest, suitable for JSON
 // encoding and quantile estimation. Buckets are in ladder order
-// (BucketNames gives the labels).
+// (BucketNames gives the labels). Count equals the bucket sum exactly,
+// always; SumNs and MaxNs may lag or lead it by in-flight observations
+// when snapshotted under load.
 type Snapshot struct {
 	Count   uint64             `json:"count"`
-	SumUs   uint64             `json:"sum_us"`
-	MaxUs   uint64             `json:"max_us"`
+	SumNs   uint64             `json:"sum_ns"`
+	MaxNs   uint64             `json:"max_ns"`
 	Buckets [NumBuckets]uint64 `json:"-"`
 }
 
-// Snapshot copies the digest's counters. Concurrent Observe calls may
-// land between the individual loads, so the bucket sum can momentarily
-// run ahead of or behind Count by in-flight observations; quiescent
-// digests are exact.
+// Snapshot copies the digest's counters. Count is derived from the
+// bucket counts, so histogram-sums-to-count holds for every snapshot,
+// including ones taken while Observe calls are in flight.
 func (d *Digest) Snapshot() Snapshot {
 	var s Snapshot
-	s.Count = d.count.Load()
-	s.SumUs = d.sumUs.Load()
-	s.MaxUs = d.maxUs.Load()
 	for i := range d.buckets {
 		s.Buckets[i] = d.buckets[i].Load()
+		s.Count += s.Buckets[i]
 	}
+	s.SumNs = d.sumNs.Load()
+	s.MaxNs = d.maxNs.Load()
 	return s
 }
 
-// MeanUs returns the mean latency in microseconds (0 when empty).
-func (s Snapshot) MeanUs() float64 {
+// Count returns the number of observations so far (bucket sum).
+func (d *Digest) Count() uint64 {
+	n := uint64(0)
+	for i := range d.buckets {
+		n += d.buckets[i].Load()
+	}
+	return n
+}
+
+// MeanNs returns the mean latency in nanoseconds (0 when empty).
+func (s Snapshot) MeanNs() float64 {
 	if s.Count == 0 {
 		return 0
 	}
-	return float64(s.SumUs) / float64(s.Count)
+	return float64(s.SumNs) / float64(s.Count)
 }
 
-// QuantileUs estimates the q-quantile (0 < q ≤ 1) in microseconds by
+// QuantileNs estimates the q-quantile (0 < q ≤ 1) in nanoseconds by
 // linear interpolation inside the bucket holding the rank. The top
 // (open-ended) bucket interpolates toward the exact observed maximum,
 // and every estimate is clamped to it, so the estimate never exceeds a
 // latency that actually happened. Returns 0 for an empty digest.
-func (s Snapshot) QuantileUs(q float64) float64 {
+func (s Snapshot) QuantileNs(q float64) float64 {
 	total := uint64(0)
 	for _, n := range s.Buckets {
 		total += n
@@ -142,34 +160,51 @@ func (s Snapshot) QuantileUs(q float64) float64 {
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = float64(Bounds[i-1].Microseconds())
+			lo = float64(Bounds[i-1].Nanoseconds())
 		}
-		hi := float64(s.MaxUs)
+		hi := float64(s.MaxNs)
 		if i < len(Bounds) {
-			hi = float64(Bounds[i].Microseconds())
+			hi = float64(Bounds[i].Nanoseconds())
 		}
 		if hi < lo {
 			hi = lo
 		}
 		frac := (rank - float64(cum)) / float64(n)
 		est := lo + (hi-lo)*frac
-		if max := float64(s.MaxUs); est > max {
+		if max := float64(s.MaxNs); est > max {
 			est = max
 		}
 		return est
 	}
-	return float64(s.MaxUs)
+	return float64(s.MaxNs)
 }
 
+// Microsecond-edge accessors: the /statsz wire format and human-facing
+// summaries report microseconds; these divide at the edge so no
+// converted value is ever stored.
+
+// QuantileUs is QuantileNs in microseconds.
+func (s Snapshot) QuantileUs(q float64) float64 { return s.QuantileNs(q) / 1e3 }
+
+// MeanUs is MeanNs in microseconds.
+func (s Snapshot) MeanUs() float64 { return s.MeanNs() / 1e3 }
+
+// SumUs is the observation sum in whole microseconds.
+func (s Snapshot) SumUs() uint64 { return s.SumNs / 1e3 }
+
+// MaxUs is the observed maximum in whole microseconds.
+func (s Snapshot) MaxUs() uint64 { return s.MaxNs / 1e3 }
+
 // Summary is the compact JSON report of a digest: count/mean/max plus
-// the standard percentile triplet. Microsecond units throughout.
+// the standard percentile triplet. Microsecond units throughout (a
+// wire-format edge; see the package comment).
 type Summary struct {
 	Count  uint64  `json:"count"`
 	MeanUs float64 `json:"mean_us"`
 	P50Us  float64 `json:"p50_us"`
 	P95Us  float64 `json:"p95_us"`
 	P99Us  float64 `json:"p99_us"`
-	MaxUs  uint64  `json:"max_us"`
+	MaxUs  float64 `json:"max_us"`
 }
 
 // Summarize computes the Summary of a snapshot.
@@ -180,7 +215,7 @@ func (s Snapshot) Summarize() Summary {
 		P50Us:  s.QuantileUs(0.50),
 		P95Us:  s.QuantileUs(0.95),
 		P99Us:  s.QuantileUs(0.99),
-		MaxUs:  s.MaxUs,
+		MaxUs:  float64(s.MaxNs) / 1e3,
 	}
 }
 

@@ -34,8 +34,11 @@ func TestObserveLandsInOneBucket(t *testing.T) {
 	if total != uint64(len(cases)) || s.Count != uint64(len(cases)) {
 		t.Fatalf("buckets sum to %d, count %d, want %d", total, s.Count, len(cases))
 	}
-	if s.MaxUs != uint64(time.Minute.Microseconds()) {
-		t.Errorf("MaxUs = %d", s.MaxUs)
+	if s.MaxNs != uint64(time.Minute.Nanoseconds()) {
+		t.Errorf("MaxNs = %d", s.MaxNs)
+	}
+	if s.MaxUs() != uint64(time.Minute.Microseconds()) {
+		t.Errorf("MaxUs = %d", s.MaxUs())
 	}
 }
 
@@ -50,8 +53,8 @@ func TestQuantileOrderingAndClamp(t *testing.T) {
 	if !(p50 <= p95 && p95 <= p99) {
 		t.Errorf("quantiles not ordered: p50=%v p95=%v p99=%v", p50, p95, p99)
 	}
-	if p99 > float64(s.MaxUs) {
-		t.Errorf("p99 %v exceeds observed max %d", p99, s.MaxUs)
+	if p99 > float64(s.MaxUs()) {
+		t.Errorf("p99 %v exceeds observed max %d", p99, s.MaxUs())
 	}
 	// The true median is ≈50ms; the histogram estimate must land in the
 	// bucket-resolution neighbourhood (25ms..100ms rungs).
@@ -66,8 +69,8 @@ func TestQuantileSingleObservation(t *testing.T) {
 	s := d.Snapshot()
 	for _, q := range []float64{0.5, 0.99, 1} {
 		got := s.QuantileUs(q)
-		if got > float64(s.MaxUs) || got <= 0 {
-			t.Errorf("QuantileUs(%v) = %v with max %d", q, got, s.MaxUs)
+		if got > float64(s.MaxUs()) || got <= 0 {
+			t.Errorf("QuantileUs(%v) = %v with max %d", q, got, s.MaxUs())
 		}
 	}
 	if s.Summarize().Count != 1 {
@@ -108,4 +111,46 @@ func TestConcurrentObserve(t *testing.T) {
 	if total != s.Count {
 		t.Errorf("buckets sum to %d, count %d", total, s.Count)
 	}
+}
+
+// TestSnapshotMidFlight pins the invariant the serving stats tests
+// build on: a snapshot taken while Observe calls are in flight still
+// has its histogram summing exactly to its count (Count is derived from
+// the buckets, not stored separately), and successive counts are
+// monotone.
+func TestSnapshotMidFlight(t *testing.T) {
+	var d Digest
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					d.Observe(123 * time.Microsecond)
+				}
+			}
+		}()
+	}
+	last := uint64(0)
+	for i := 0; i < 200; i++ {
+		s := d.Snapshot()
+		var total uint64
+		for _, n := range s.Buckets {
+			total += n
+		}
+		if total != s.Count {
+			t.Fatalf("mid-flight snapshot: buckets sum to %d, count %d", total, s.Count)
+		}
+		if s.Count < last {
+			t.Fatalf("count went backwards: %d after %d", s.Count, last)
+		}
+		last = s.Count
+	}
+	close(stop)
+	wg.Wait()
 }

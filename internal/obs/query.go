@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Eval modes reported by the evaluator layer.
+const (
+	ModeSequential = "sequential"
+	ModeParallel   = "parallel"
+)
+
+// QueryMetrics is the always-on per-request accounting the pipeline
+// layers write into: per-phase durations, cache outcomes, the chosen
+// eval mode, and query shape numbers. The server installs one per
+// request (WithQueryMetrics) and reads it back after the pipeline
+// returns to feed its per-phase histograms and the slow-query log;
+// /explainz sets CaptureQueries to additionally get the intermediate
+// query strings, which the hot path does not pay to render.
+//
+// A QueryMetrics is written by the single goroutine evaluating its
+// request (the pipeline is sequential within one request) and read only
+// after the pipeline returns, so plain fields suffice.
+type QueryMetrics struct {
+	// Rewrite, Optimize, and Eval are the time spent in each phase for
+	// this request. A plan-cache hit skips rewrite and optimize, so
+	// those report 0 — per-phase histograms over many requests then
+	// honestly show where wall time went, cache and all.
+	Rewrite  time.Duration
+	Optimize time.Duration
+	Eval     time.Duration
+
+	// PlanCacheHit reports whether the (query, height class) plan was
+	// served from the engine's cache; EngineCacheHit whether the policy
+	// layer found the class's engine already derived for the binding.
+	PlanCacheHit   bool
+	EngineCacheHit bool
+
+	// EvalMode is ModeSequential or ModeParallel — what the evaluator
+	// actually did, not what was configured (a parallel-configured
+	// engine still runs small inputs sequentially).
+	EvalMode string
+	// NodesVisited counts the sequential evaluator's cooperation ticks
+	// (one per path step plus one per node in the hot loops) — a
+	// work-done proxy. Zero for parallel evaluations, which report
+	// UnionForks/Partitions instead.
+	NodesVisited uint64
+	// UnionForks and Partitions are the parallel evaluator's fan-outs
+	// for this request alone.
+	UnionForks uint64
+	Partitions uint64
+
+	// RewrittenSize and OptimizedSize are AST sizes of the intermediate
+	// queries (xpath.Size), recorded on plan build and on explain.
+	RewrittenSize int
+	OptimizedSize int
+	// UnfoldHeight is the document height a recursive view was unfolded
+	// to (0 for non-recursive views).
+	UnfoldHeight int
+
+	// CaptureQueries asks the pipeline to also render the rewritten and
+	// optimized query strings. Off on the serving hot path.
+	CaptureQueries bool
+	Rewritten      string
+	Optimized      string
+}
+
+type queryMetricsKey struct{}
+
+// WithQueryMetrics attaches a per-request metrics carrier.
+func WithQueryMetrics(ctx context.Context, qm *QueryMetrics) context.Context {
+	if qm == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, queryMetricsKey{}, qm)
+}
+
+// QueryMetricsFromContext returns the context's carrier, or nil (also
+// on a nil context). Callers guard with one nil check; a request served
+// outside the HTTP front-end (library use, benchmarks) carries none and
+// pays nothing.
+func QueryMetricsFromContext(ctx context.Context) *QueryMetrics {
+	if ctx == nil {
+		return nil
+	}
+	qm, _ := ctx.Value(queryMetricsKey{}).(*QueryMetrics)
+	return qm
+}

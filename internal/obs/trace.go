@@ -1,0 +1,312 @@
+// Package obs is the observability substrate of the query-serving
+// stack: lightweight in-process trace spans (start/end, attributes,
+// parent/child) carried through the pipeline on the request context, a
+// bounded ring buffer of recent traces with a sampling knob, a metrics
+// registry (counters, gauges, histograms over the latency package's
+// digests) with Prometheus text exposition, and the per-request
+// QueryMetrics carrier the pipeline layers write their always-on phase
+// accounting into.
+//
+// The design splits sampled from always-on state deliberately. Spans
+// are sampled: a request that is not sampled carries no span, and every
+// instrumentation point degrades to a nil check (all Span methods are
+// nil-safe no-ops), so the un-sampled hot path pays only a context
+// lookup. Metrics are always on: the server observes every request into
+// its histograms regardless of sampling, because percentiles computed
+// over a sample of convenience are not percentiles.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute. Values are kept as produced (ints,
+// strings, bools) and serialized by encoding/json.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Span is one timed operation inside a trace. Spans form a tree; child
+// spans are created with StartChild. All methods are safe for
+// concurrent use and safe on a nil receiver (the no-op form every
+// un-sampled code path takes), so instrumentation never needs to guard.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild starts a child span. On a nil receiver it returns nil, so
+// chains of instrumentation stay no-op when tracing is off.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr records an attribute on the span (nil-safe).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Finish marks the span's end time (nil-safe; the first call wins).
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the span's elapsed time: end-start once finished,
+// time-since-start while still open, 0 on a nil span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// SpanSnapshot is the immutable, JSON-ready copy of a span tree.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNs int64          `json:"duration_ns"`
+	Attrs      []Attr         `json:"attrs,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot deep-copies the span tree. Open spans snapshot with their
+// current elapsed time.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.mu.Lock()
+	snap := SpanSnapshot{Name: s.name, Start: s.start}
+	if s.end.IsZero() {
+		snap.DurationNs = int64(time.Since(s.start))
+	} else {
+		snap.DurationNs = int64(s.end.Sub(s.start))
+	}
+	snap.Attrs = append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+// Trace is one sampled request: a stable ID and the root span the
+// pipeline hangs its phase spans off.
+type Trace struct {
+	ID   uint64
+	Root *Span
+}
+
+// TraceSnapshot is the ring-buffer entry: the ID plus the finished span
+// tree.
+type TraceSnapshot struct {
+	ID   uint64       `json:"id"`
+	Root SpanSnapshot `json:"root"`
+}
+
+// DefaultTraceRing bounds the tracer's recent-trace ring when the
+// configured capacity is zero or negative.
+const DefaultTraceRing = 64
+
+// Tracer decides which requests get a span tree (1-in-N sampling) and
+// keeps a bounded ring of the most recent completed traces. All methods
+// are safe for concurrent use, and safe on a nil *Tracer (never
+// sampling), so callers without a tracer need no guards.
+type Tracer struct {
+	sampleEvery atomic.Int64
+	nextID      atomic.Uint64
+	counter     atomic.Uint64
+	started     atomic.Uint64
+	kept        atomic.Uint64
+
+	mu   sync.Mutex
+	ring []TraceSnapshot
+	next int
+}
+
+// NewTracer returns a tracer sampling one request in sampleEvery
+// (0 disables sampling entirely, 1 samples everything) with a ring
+// holding the ringCap most recent traces.
+func NewTracer(sampleEvery, ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = DefaultTraceRing
+	}
+	t := &Tracer{ring: make([]TraceSnapshot, 0, ringCap)}
+	t.SetSampleEvery(sampleEvery)
+	return t
+}
+
+// SampleEvery returns the sampling knob: 0 = off, N = one trace per N
+// Sample calls.
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sampleEvery.Load())
+}
+
+// SetSampleEvery adjusts the sampling knob at runtime (negative is
+// clamped to 0 = off).
+func (t *Tracer) SetSampleEvery(n int) {
+	if t == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.sampleEvery.Store(int64(n))
+}
+
+// Sample starts a trace for one request in SampleEvery, returning nil
+// for the rest. The sampled/unsampled decision is a counter, not a coin
+// flip, so a steady request stream yields a steady trace stream.
+func (t *Tracer) Sample(rootName string) *Trace {
+	if t == nil {
+		return nil
+	}
+	n := t.sampleEvery.Load()
+	if n <= 0 {
+		return nil
+	}
+	if t.counter.Add(1)%uint64(n) != 0 {
+		return nil
+	}
+	return t.Start(rootName)
+}
+
+// Start unconditionally starts a trace (the /explainz path, which must
+// trace regardless of the sampling knob). Returns nil on a nil tracer.
+func (t *Tracer) Start(rootName string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	return &Trace{ID: t.nextID.Add(1), Root: NewSpan(rootName)}
+}
+
+// Keep finishes the trace's root span and stores its snapshot in the
+// ring, evicting the oldest entry when full. Nil traces and tracers are
+// no-ops.
+func (t *Tracer) Keep(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.Root.Finish()
+	snap := TraceSnapshot{ID: tr.ID, Root: tr.Root.Snapshot()}
+	t.kept.Add(1)
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, snap)
+	} else {
+		t.ring[t.next] = snap
+		t.next = (t.next + 1) % len(t.ring)
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to n of the most recent kept traces, newest first
+// (n <= 0 means all).
+func (t *Tracer) Recent(n int) []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(t.ring))
+	// The ring is ordered oldest..newest from t.next when full, 0..len
+	// when still filling; walk backwards from the newest entry.
+	for i := 0; i < len(t.ring); i++ {
+		idx := (t.next - 1 - i + 2*len(t.ring)) % len(t.ring)
+		if len(t.ring) < cap(t.ring) {
+			// Still filling: entries live at 0..len-1, newest last.
+			idx = len(t.ring) - 1 - i
+		}
+		out = append(out, t.ring[idx])
+		if n > 0 && len(out) >= n {
+			break
+		}
+	}
+	return out
+}
+
+// Stats reports how many traces were started and kept.
+func (t *Tracer) Stats() (started, kept uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.started.Load(), t.kept.Load()
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan attaches a span to the context so downstream pipeline
+// layers can hang child spans off it.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the context's span, or nil (also on a nil
+// context). The nil result composes with the nil-safe Span methods, so
+// instrumentation points need no branches.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context's span and returns a context
+// carrying the child. When the context has no span (the request is not
+// sampled), it returns the context unchanged and a nil span — no
+// allocation, which is what keeps tracing overhead at sampling=0 inside
+// the acceptance budget.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return ContextWithSpan(ctx, child), child
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("request")
+	root.SetAttr("class", "nurse")
+	child := root.StartChild("rewrite")
+	child.SetAttr("output_size", 7)
+	grand := child.StartChild("unfold")
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+
+	snap := root.Snapshot()
+	if snap.Name != "request" || len(snap.Attrs) != 1 || snap.Attrs[0].Key != "class" {
+		t.Fatalf("root snapshot: %+v", snap)
+	}
+	if len(snap.Children) != 1 || snap.Children[0].Name != "rewrite" {
+		t.Fatalf("children: %+v", snap.Children)
+	}
+	if len(snap.Children[0].Children) != 1 || snap.Children[0].Children[0].Name != "unfold" {
+		t.Fatalf("grandchildren: %+v", snap.Children[0].Children)
+	}
+	if snap.DurationNs < 0 || snap.Children[0].DurationNs < 0 {
+		t.Errorf("negative durations: %+v", snap)
+	}
+	if snap.DurationNs < snap.Children[0].DurationNs {
+		t.Errorf("root (%d ns) shorter than child (%d ns)", snap.DurationNs, snap.Children[0].DurationNs)
+	}
+}
+
+func TestSpanFinishFirstCallWins(t *testing.T) {
+	s := NewSpan("op")
+	s.Finish()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.Finish()
+	if got := s.Duration(); got != d {
+		t.Errorf("second Finish moved the end time: %v -> %v", d, got)
+	}
+}
+
+// TestNilSafety: every Span method and every Tracer method must be a
+// no-op on a nil receiver — this is what lets instrumentation points run
+// unguarded on the un-sampled hot path.
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	s.Finish()
+	if c := s.StartChild("child"); c != nil {
+		t.Errorf("nil.StartChild = %v, want nil", c)
+	}
+	if d := s.Duration(); d != 0 {
+		t.Errorf("nil.Duration = %v, want 0", d)
+	}
+	if snap := s.Snapshot(); snap.Name != "" {
+		t.Errorf("nil.Snapshot = %+v", snap)
+	}
+
+	var tr *Tracer
+	if tr.Sample("r") != nil || tr.Start("r") != nil {
+		t.Error("nil tracer sampled a trace")
+	}
+	tr.Keep(nil)
+	tr.SetSampleEvery(5)
+	if tr.SampleEvery() != 0 {
+		t.Error("nil tracer has a sampling rate")
+	}
+	if got := tr.Recent(0); got != nil {
+		t.Errorf("nil.Recent = %v", got)
+	}
+	if a, b := tr.Stats(); a != 0 || b != 0 {
+		t.Errorf("nil.Stats = %d, %d", a, b)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := SpanFromContext(ctx); got != nil {
+		t.Fatalf("empty context has span %v", got)
+	}
+	// No parent span: StartSpan must return the context unchanged and a
+	// nil span (the zero-overhead path).
+	ctx2, sp := StartSpan(ctx, "op")
+	if sp != nil || ctx2 != ctx {
+		t.Fatalf("StartSpan without parent: ctx changed or span %v", sp)
+	}
+
+	root := NewSpan("request")
+	ctx = ContextWithSpan(ctx, root)
+	if got := SpanFromContext(ctx); got != root {
+		t.Fatalf("SpanFromContext = %v, want root", got)
+	}
+	ctx3, child := StartSpan(ctx, "rewrite")
+	if child == nil {
+		t.Fatal("StartSpan under a parent returned nil")
+	}
+	if got := SpanFromContext(ctx3); got != child {
+		t.Errorf("child context carries %v, want the child", got)
+	}
+	root.Finish()
+	if snap := root.Snapshot(); len(snap.Children) != 1 || snap.Children[0].Name != "rewrite" {
+		t.Errorf("root children: %+v", snap.Children)
+	}
+
+	if got := SpanFromContext(nil); got != nil {
+		t.Errorf("SpanFromContext(nil) = %v", got)
+	}
+}
+
+// TestSamplingCadence: the 1-in-N decision is a counter, so exactly one
+// trace per N calls, deterministically.
+func TestSamplingCadence(t *testing.T) {
+	tr := NewTracer(3, 8)
+	sampled := 0
+	for i := 0; i < 9; i++ {
+		if trace := tr.Sample("request"); trace != nil {
+			sampled++
+			tr.Keep(trace)
+		}
+	}
+	if sampled != 3 {
+		t.Errorf("sampled %d of 9 at 1-in-3, want 3", sampled)
+	}
+
+	off := NewTracer(0, 8)
+	for i := 0; i < 10; i++ {
+		if off.Sample("request") != nil {
+			t.Fatal("sampling=0 produced a trace")
+		}
+	}
+	// Start bypasses the knob (the /explainz path).
+	if off.Start("explain") == nil {
+		t.Error("Start returned nil with sampling off")
+	}
+}
+
+// TestRingBoundAndOrder: the ring keeps only the newest ringCap traces,
+// and Recent returns them newest first.
+func TestRingBoundAndOrder(t *testing.T) {
+	tr := NewTracer(1, 4)
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		trace := tr.Sample("request")
+		if trace == nil {
+			t.Fatal("sampling=1 skipped a request")
+		}
+		ids = append(ids, trace.ID)
+		tr.Keep(trace)
+	}
+	got := tr.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(got))
+	}
+	for i, snap := range got {
+		want := ids[len(ids)-1-i]
+		if snap.ID != want {
+			t.Errorf("Recent[%d].ID = %d, want %d", i, snap.ID, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[0].ID != ids[len(ids)-1] {
+		t.Errorf("Recent(2) = %+v", got)
+	}
+	if started, kept := tr.Stats(); started != 10 || kept != 10 {
+		t.Errorf("Stats = %d started, %d kept, want 10, 10", started, kept)
+	}
+}
+
+// TestTracerConcurrency exercises Sample/Keep/Recent and span mutation
+// from many goroutines; the race detector is the assertion.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(2, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if trace := tr.Sample("request"); trace != nil {
+					child := trace.Root.StartChild("phase")
+					child.SetAttr("i", i)
+					child.Finish()
+					tr.Keep(trace)
+				}
+				tr.Recent(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if started, kept := tr.Stats(); started != kept || started == 0 {
+		t.Errorf("Stats = %d started, %d kept", started, kept)
+	}
+}

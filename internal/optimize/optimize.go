@@ -1,10 +1,12 @@
 package optimize
 
 import (
+	"context"
 	"sort"
 	"sync"
 
 	"repro/internal/dtd"
+	"repro/internal/obs"
 	"repro/internal/xpath"
 )
 
@@ -21,6 +23,15 @@ type Optimizer struct {
 	recReach map[string][]string
 	recPaths map[string]map[string]xpath.Path
 	reaching map[string]map[string]bool
+
+	// rules counts DTD-driven simplification decisions (impossible /
+	// guaranteed qualifiers, exclusive or implied conjuncts, union
+	// containment); pruned counts the subtrees those decisions removed
+	// (union branches dropped, qualifier subtrees decided outright).
+	// Memoized cells fire their rules once, on first computation. Both
+	// are guarded by mu like the memo they describe.
+	rules  uint64
+	pruned uint64
 }
 
 // New returns an optimizer for the DTD. Recursive DTDs are supported: the
@@ -86,6 +97,35 @@ func (o *Optimizer) OptimizeAt(p xpath.Path, a string) xpath.Path {
 
 func (o *Optimizer) optimizeAtLocked(p xpath.Path, a string) xpath.Path {
 	return xpath.Simplify(o.opt(p, a).total())
+}
+
+// OptimizeCtx is Optimize with observability: when the context carries
+// a trace span, the pass is recorded as a child span carrying the
+// output size and the per-call delta of rules fired and branches
+// pruned. Without a span it is exactly Optimize plus one nil check.
+func (o *Optimizer) OptimizeCtx(ctx context.Context, p xpath.Path) xpath.Path {
+	_, sp := obs.StartSpan(ctx, "optimize")
+	o.mu.Lock()
+	r0, p0 := o.rules, o.pruned
+	out := o.optimizeAtLocked(p, o.d.Root())
+	dr, dp := o.rules-r0, o.pruned-p0
+	o.mu.Unlock()
+	if sp != nil {
+		sp.SetAttr("input_size", xpath.Size(p))
+		sp.SetAttr("output_size", xpath.Size(out))
+		sp.SetAttr("rules_fired", dr)
+		sp.SetAttr("pruned_branches", dp)
+		sp.Finish()
+	}
+	return out
+}
+
+// Stats reports the optimizer's cumulative counters: DTD-driven
+// simplification rules fired and subtrees pruned by them.
+func (o *Optimizer) Stats() (rulesFired, prunedBranches uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rules, o.pruned
 }
 
 // OptimizeString parses, optimizes at the root, and prints.
@@ -168,9 +208,13 @@ func (o *Optimizer) compute(p xpath.Path, a string) result {
 		g2, ok2 := o.image(p.Right, a)
 		if ok1 && ok2 {
 			if o.simulate(g1, g2) {
+				o.rules++
+				o.pruned++
 				return o.opt(p.Right, a)
 			}
 			if o.simulate(g2, g1) {
+				o.rules++
+				o.pruned++
 				return o.opt(p.Left, a)
 			}
 		}
@@ -211,14 +255,20 @@ func (o *Optimizer) optQual(q xpath.Qual, a string) (triBool, xpath.Qual) {
 		return tvFalse, q
 	case xpath.QPath:
 		if o.impossible(q.Path, a) {
+			o.rules++
+			o.pruned++
 			return tvFalse, xpath.QFalse{}
 		}
 		if o.guaranteed(q.Path, a) {
+			o.rules++
+			o.pruned++
 			return tvTrue, xpath.QTrue{}
 		}
 		return tvUnknown, xpath.QPath{Path: o.optimizeAtLocked(q.Path, a)}
 	case xpath.QEq:
 		if o.impossible(q.Path, a) {
+			o.rules++
+			o.pruned++
 			return tvFalse, xpath.QFalse{}
 		}
 		return tvUnknown, xpath.QEq{Path: o.optimizeAtLocked(q.Path, a), Value: q.Value, Var: q.Var}
@@ -235,12 +285,16 @@ func (o *Optimizer) optQual(q xpath.Qual, a string) (triBool, xpath.Qual) {
 			return t1, q1
 		}
 		if o.exclusive(a, q1, q2) {
+			o.rules++
+			o.pruned++
 			return tvFalse, xpath.QFalse{}
 		}
 		if o.qualImplies(q1, q2, a) {
+			o.rules++
 			return tvUnknown, q1
 		}
 		if o.qualImplies(q2, q1, a) {
+			o.rules++
 			return tvUnknown, q2
 		}
 		return tvUnknown, xpath.QAnd{Left: q1, Right: q2}

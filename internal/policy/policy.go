@@ -17,6 +17,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/dtd"
+	"repro/internal/obs"
 	"repro/internal/plancache"
 	"repro/internal/xmltree"
 )
@@ -136,21 +137,41 @@ func (c *Class) Params() []string { return c.Spec.Vars() }
 // eviction (an evicted binding is re-derived on its next use). Classes
 // without parameters accept a nil binding.
 func (c *Class) Engine(params map[string]string) (*core.Engine, error) {
-	return c.engines.GetOrCompute(bindingKey(params), func() (*core.Engine, error) {
-		spec := c.Spec
-		if len(c.Params()) > 0 || len(params) > 0 {
-			bound, err := c.Spec.Bind(params)
-			if err != nil {
-				return nil, fmt.Errorf("policy: class %s: %w", c.Name, &BindingError{Err: err})
-			}
-			spec = bound
+	return c.EngineCtx(context.Background(), params)
+}
+
+// EngineCtx is Engine with observability: a context carrying a
+// QueryMetrics carrier learns whether the engine came from the cache,
+// and a context carrying a trace span gets a "derive_engine" child span
+// on a miss (view derivation is the expensive path). As with
+// GetOrCompute, concurrent misses may derive more than once.
+func (c *Class) EngineCtx(ctx context.Context, params map[string]string) (*core.Engine, error) {
+	key := bindingKey(params)
+	if e, ok := c.engines.Get(key); ok {
+		if qm := obs.QueryMetricsFromContext(ctx); qm != nil {
+			qm.EngineCacheHit = true
 		}
-		e, err := core.NewWithConfig(spec, c.engineCfg)
-		if err != nil {
-			return nil, fmt.Errorf("policy: class %s: %v", c.Name, err)
-		}
+		obs.SpanFromContext(ctx).SetAttr("engine_cache", "hit")
 		return e, nil
-	})
+	}
+	obs.SpanFromContext(ctx).SetAttr("engine_cache", "miss")
+	_, sp := obs.StartSpan(ctx, "derive_engine")
+	spec := c.Spec
+	if len(c.Params()) > 0 || len(params) > 0 {
+		bound, err := c.Spec.Bind(params)
+		if err != nil {
+			sp.Finish()
+			return nil, fmt.Errorf("policy: class %s: %w", c.Name, &BindingError{Err: err})
+		}
+		spec = bound
+	}
+	e, err := core.NewWithConfig(spec, c.engineCfg)
+	sp.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("policy: class %s: %v", c.Name, err)
+	}
+	c.engines.Put(key, e)
+	return e, nil
 }
 
 // EngineCacheStats reports the class's engine-cache counters.
@@ -206,11 +227,26 @@ func (r *Registry) QueryCtx(ctx context.Context, class string, params map[string
 	if !ok {
 		return nil, fmt.Errorf("policy: %w %q", ErrUnknownClass, class)
 	}
-	e, err := c.Engine(params)
+	e, err := c.EngineCtx(ctx, params)
 	if err != nil {
 		return nil, err
 	}
 	return e.QueryStringCtx(ctx, doc, query)
+}
+
+// ExplainCtx answers a view query like QueryCtx but through the
+// engine's explain path: every pipeline phase is measured fresh and the
+// intermediate query strings are reported (see core.Engine.ExplainCtx).
+func (r *Registry) ExplainCtx(ctx context.Context, class string, params map[string]string, doc *xmltree.Document, query string) (*core.Explain, error) {
+	c, ok := r.classes[class]
+	if !ok {
+		return nil, fmt.Errorf("policy: %w %q", ErrUnknownClass, class)
+	}
+	e, err := c.EngineCtx(ctx, params)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExplainStringCtx(ctx, doc, query)
 }
 
 // ViewDTD returns the schema published to one user class under a

@@ -21,11 +21,13 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/dtd"
+	"repro/internal/obs"
 	"repro/internal/secview"
 	"repro/internal/xpath"
 )
@@ -50,6 +52,12 @@ type Rewriter struct {
 	recPaths map[string]map[string]xpath.Path
 
 	memo map[memoKey]result
+
+	// unfolded/height record whether this rewriter's view DTD was
+	// unfolded (recursive view) and to what document height — pure
+	// observability; the algorithm never reads them back.
+	unfolded bool
+	height   int
 }
 
 type memoKey struct {
@@ -122,7 +130,24 @@ func ForViewWithHeight(v *secview.View, height int) (*Rewriter, error) {
 	unfolded, orig, sigma := unfold(v, height)
 	r := newRewriter(v, unfolded, orig)
 	r.sigma = sigma
+	r.unfolded = true
+	r.height = height
 	return r, nil
+}
+
+// Unfolded reports whether the view DTD was unfolded (recursive view);
+// Height is the document height it was unfolded to (0 otherwise).
+func (r *Rewriter) Unfolded() bool { return r.unfolded }
+
+// Height returns the unfolding height; see Unfolded.
+func (r *Rewriter) Height() int { return r.height }
+
+// MemoLen returns the number of DP cells currently memoized — a proxy
+// for the rewriter's working-set size, exposed for observability.
+func (r *Rewriter) MemoLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.memo)
 }
 
 func newRewriter(v *secview.View, dv *dtd.DTD, orig map[string]string) *Rewriter {
@@ -168,6 +193,28 @@ func (r *Rewriter) Rewrite(p xpath.Path) (xpath.Path, error) {
 	defer r.mu.Unlock()
 	res := r.rw(p, r.dv.Root())
 	return xpath.Simplify(res.total()), nil
+}
+
+// RewriteCtx is Rewrite with observability: when the context carries a
+// trace span, the rewrite is recorded as a child span carrying the
+// input and output query sizes, the memo working set, and (for unfolded
+// recursive views) the unfolding height. Without a span it is exactly
+// Rewrite plus one nil check.
+func (r *Rewriter) RewriteCtx(ctx context.Context, p xpath.Path) (xpath.Path, error) {
+	_, sp := obs.StartSpan(ctx, "rewrite")
+	pt, err := r.Rewrite(p)
+	if sp != nil {
+		sp.SetAttr("input_size", xpath.Size(p))
+		if err == nil {
+			sp.SetAttr("output_size", xpath.Size(pt))
+		}
+		if r.unfolded {
+			sp.SetAttr("unfold_height", r.height)
+		}
+		sp.SetAttr("memo_cells", r.MemoLen())
+		sp.Finish()
+	}
+	return pt, err
 }
 
 // RewriteString parses, rewrites, and prints in one step.

@@ -4,9 +4,21 @@
 // poll it cooperatively, so a runaway query is cut off mid-descent), an
 // admission-control semaphore caps the number of in-flight evaluations
 // (excess load is refused with 429 instead of queueing until collapse),
-// and /statsz reports the full counter stack — per-class engine and
-// plan-cache counters from the layers below plus the server's own
-// request, latency, and cancellation counters.
+// and the observability surface reports the full counter stack:
+//
+//	/query    answer one view query
+//	/statsz   JSON counters (server + per-class engine/plan caches)
+//	/metricsz Prometheus text exposition of the same counters plus
+//	          per-phase (rewrite/optimize/eval) latency histograms
+//	/explainz one query, freshly measured per phase, with its trace
+//	/tracez   recent sampled request traces (span trees)
+//	/healthz  liveness; 503 once graceful drain has begun
+//	/debug/pprof/*  the runtime profiler
+//
+// Every admitted query carries a request ID and an obs.QueryMetrics
+// carrier; one request in Config.TraceSampleEvery additionally records
+// a span tree into a bounded ring. Requests slower than
+// Config.SlowQueryThreshold are logged with their per-phase breakdown.
 package serve
 
 import (
@@ -14,13 +26,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/latency"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -28,9 +44,11 @@ import (
 
 // Defaults for the zero Config.
 const (
-	DefaultTimeout     = 5 * time.Second
-	DefaultMaxTimeout  = 30 * time.Second
-	DefaultMaxInFlight = 64
+	DefaultTimeout       = 5 * time.Second
+	DefaultMaxTimeout    = 30 * time.Second
+	DefaultMaxInFlight   = 64
+	DefaultSlowQuery     = time.Second
+	DefaultTraceSampling = 0 // tracing off unless asked for
 )
 
 // Config tunes the server. The zero value gives the defaults above.
@@ -45,6 +63,19 @@ type Config struct {
 	// MaxInFlight bounds concurrently evaluating queries; requests
 	// beyond it are refused with 429 Too Many Requests.
 	MaxInFlight int
+	// SlowQueryThreshold is the elapsed time above which an admitted
+	// query is logged with its per-phase breakdown. 0 means
+	// DefaultSlowQuery; negative disables the slow-query log.
+	SlowQueryThreshold time.Duration
+	// TraceSampleEvery keeps a full span tree for one admitted request
+	// in N (0 = tracing off; 1 = trace everything). /explainz always
+	// traces regardless.
+	TraceSampleEvery int
+	// TraceRingSize bounds the ring of recent traces served by /tracez
+	// (0 = obs.DefaultTraceRing).
+	TraceRingSize int
+	// Logf is the slow-query log sink; nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) defaultTimeout() time.Duration {
@@ -71,6 +102,26 @@ func (c Config) maxInFlight() int {
 	return DefaultMaxInFlight
 }
 
+func (c Config) slowThreshold() time.Duration {
+	switch {
+	case c.SlowQueryThreshold > 0:
+		return c.SlowQueryThreshold
+	case c.SlowQueryThreshold < 0:
+		return 0
+	}
+	return DefaultSlowQuery
+}
+
+// Phase indices for the per-phase duration digests.
+const (
+	phaseRewrite = iota
+	phaseOptimize
+	phaseEval
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"rewrite", "optimize", "eval"}
+
 // Server serves rewritten-query requests for one document and one
 // policy registry. It is safe for concurrent use.
 type Server struct {
@@ -90,9 +141,32 @@ type Server struct {
 	lat            latency.Digest
 	started        time.Time
 
+	// Observability: the request-ID sequence, drain flag, sampled-trace
+	// ring, Prometheus registry, and the always-on per-request rollups —
+	// per-phase latency digests plus the pipeline/cache/mode counters
+	// they are keyed against (see observePipeline for the invariant).
+	reqID    atomic.Uint64
+	draining atomic.Bool
+	tracer   *obs.Tracer
+	metrics  *obs.Registry
+
+	phases       [numPhases]latency.Digest
+	pipeline     atomic.Uint64
+	planHits     atomic.Uint64
+	planMisses   atomic.Uint64
+	engineHits   atomic.Uint64
+	engineMisses atomic.Uint64
+	evalSeq      atomic.Uint64
+	evalPar      atomic.Uint64
+	slowQueries  atomic.Uint64
+	explains     atomic.Uint64
+
 	// query answers one admitted request; it defaults to the registry's
 	// QueryCtx and exists so tests can inject evaluation failures.
 	query func(ctx context.Context, class string, params map[string]string, doc *xmltree.Document, q string) ([]*xmltree.Node, error)
+	// explain answers one /explainz request; defaults to the registry's
+	// ExplainCtx.
+	explain func(ctx context.Context, class string, params map[string]string, doc *xmltree.Document, q string) (*core.Explain, error)
 
 	// testHook, when set, runs while the request holds its admission
 	// slot, before evaluation. Tests use it to pin requests in flight.
@@ -103,113 +177,405 @@ type Server struct {
 // queries against. The document must already conform to the registry's
 // DTD; frontends validate at load time.
 func New(reg *policy.Registry, doc *xmltree.Document, cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		reg:     reg,
 		doc:     doc,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.maxInFlight()),
 		started: time.Now(),
 		query:   reg.QueryCtx,
+		explain: reg.ExplainCtx,
+		tracer:  obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceRingSize),
+		metrics: obs.NewRegistry(),
 	}
+	s.registerMetrics()
+	return s
 }
 
-// Handler returns the server's route table: /query, /statsz, /healthz.
+// registerMetrics wires the server's counters into the Prometheus
+// registry. Everything is a read-at-exposition bridge over the same
+// atomics /statsz reports — the two endpoints can never double-count or
+// disagree.
+func (s *Server) registerMetrics() {
+	m := s.metrics
+	const respHelp = "Query responses by HTTP status code."
+	m.CounterFunc("sv_requests_total", "Queries received by /query, admitted or not.", s.requests.Load)
+	m.CounterFunc("sv_responses_total", respHelp, s.ok.Load, obs.L("code", "200"))
+	m.CounterFunc("sv_responses_total", respHelp, s.badRequests.Load, obs.L("code", "400"))
+	m.CounterFunc("sv_responses_total", respHelp, s.rejected.Load, obs.L("code", "429"))
+	m.CounterFunc("sv_responses_total", respHelp, s.clientCancels.Load, obs.L("code", "499"))
+	m.CounterFunc("sv_responses_total", respHelp, s.internalErrors.Load, obs.L("code", "500"))
+	m.CounterFunc("sv_responses_total", respHelp, s.timeouts.Load, obs.L("code", "504"))
+	m.CounterFunc("sv_explains_total", "/explainz requests admitted.", s.explains.Load)
+	m.CounterFunc("sv_slow_queries_total", "Admitted queries slower than the slow-query threshold.", s.slowQueries.Load)
+	m.GaugeFunc("sv_in_flight", "Queries currently holding an admission slot.", func() float64 {
+		return float64(s.inFlight.Load())
+	})
+	m.GaugeFunc("sv_max_in_flight", "Admission-control capacity.", func() float64 {
+		return float64(s.cfg.maxInFlight())
+	})
+	m.GaugeFunc("sv_draining", "1 once graceful drain has begun, else 0.", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	m.GaugeFunc("sv_uptime_seconds", "Seconds since the server was built.", func() float64 {
+		return time.Since(s.started).Seconds()
+	})
+	m.GaugeFunc("sv_document_nodes", "Nodes in the served document.", func() float64 {
+		return float64(s.doc.Size())
+	})
+	m.GaugeFunc("sv_document_height", "Height of the served document.", func() float64 {
+		return float64(s.doc.Height())
+	})
+	m.HistogramFunc("sv_request_duration_seconds", "End-to-end /query latency (admitted requests).", s.lat.Snapshot)
+	const phaseHelp = "Per-phase pipeline latency; a plan-cache hit observes 0 for rewrite and optimize, so every phase's count equals sv_pipeline_total."
+	for i := range s.phases {
+		m.HistogramFunc("sv_phase_duration_seconds", phaseHelp, s.phases[i].Snapshot, obs.L("phase", phaseNames[i]))
+	}
+	m.CounterFunc("sv_pipeline_total", "Queries that completed the rewrite-optimize-eval pipeline.", s.pipeline.Load)
+	const planHelp = "Plan-cache outcomes for completed pipelines."
+	m.CounterFunc("sv_plan_cache_total", planHelp, s.planHits.Load, obs.L("result", "hit"))
+	m.CounterFunc("sv_plan_cache_total", planHelp, s.planMisses.Load, obs.L("result", "miss"))
+	const engineHelp = "Per-binding engine-cache outcomes for completed pipelines."
+	m.CounterFunc("sv_engine_cache_total", engineHelp, s.engineHits.Load, obs.L("result", "hit"))
+	m.CounterFunc("sv_engine_cache_total", engineHelp, s.engineMisses.Load, obs.L("result", "miss"))
+	const modeHelp = "Completed pipelines by the eval mode actually taken."
+	m.CounterFunc("sv_eval_total", modeHelp, s.evalSeq.Load, obs.L("mode", obs.ModeSequential))
+	m.CounterFunc("sv_eval_total", modeHelp, s.evalPar.Load, obs.L("mode", obs.ModeParallel))
+	const traceHelp = "Traces started and kept by the sampler (explain traces included)."
+	m.CounterFunc("sv_traces_total", traceHelp, func() uint64 { st, _ := s.tracer.Stats(); return st }, obs.L("state", "started"))
+	m.CounterFunc("sv_traces_total", traceHelp, func() uint64 { _, k := s.tracer.Stats(); return k }, obs.L("state", "kept"))
+}
+
+// Metrics returns the server's Prometheus registry (the /metricsz
+// content), so embedders can add their own series.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Tracer returns the server's trace sampler, so embedders and tests can
+// adjust the sampling knob at runtime.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// BeginDrain flips /healthz to 503 so load balancers stop routing new
+// work here while in-flight queries finish. The HTTP listener shutdown
+// itself is the caller's job (http.Server.Shutdown); this only
+// publishes the intent. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the server's route table; see the package comment for
+// the endpoint inventory.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/statsz", s.handleStatsz)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/metricsz", s.handleMetricsz)
+	mux.HandleFunc("/explainz", s.handleExplainz)
+	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
-// handleQuery answers one view query. Parameters: class (required), q
-// (required), param=name=value (repeatable), timeout (Go duration,
-// clamped to Config.MaxTimeout).
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+// queryRequest is one parsed /query or /explainz request.
+type queryRequest struct {
+	class   string
+	query   string
+	params  map[string]string
+	timeout time.Duration
+}
+
+// parseQueryRequest validates the shared request parameters: class
+// (required), q (required), param=name=value (repeatable), timeout (Go
+// duration, clamped to Config.MaxTimeout).
+func (s *Server) parseQueryRequest(r *http.Request) (*queryRequest, error) {
 	if err := r.ParseForm(); err != nil {
-		s.badRequest(w, fmt.Errorf("malformed form: %v", err))
-		return
+		return nil, fmt.Errorf("malformed form: %v", err)
 	}
-	class := r.Form.Get("class")
-	query := r.Form.Get("q")
-	if class == "" || query == "" {
-		s.badRequest(w, errors.New("need class= and q= parameters"))
-		return
+	req := &queryRequest{
+		class: r.Form.Get("class"),
+		query: r.Form.Get("q"),
+	}
+	if req.class == "" || req.query == "" {
+		return nil, errors.New("need class= and q= parameters")
 	}
 	params, err := parseParams(r.Form["param"])
+	if err != nil {
+		return nil, err
+	}
+	req.params = params
+	req.timeout = s.cfg.defaultTimeout()
+	if v := r.Form.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad timeout %q (want a positive Go duration like 250ms)", v)
+		}
+		req.timeout = d
+	}
+	if max := s.cfg.maxTimeout(); req.timeout == 0 || req.timeout > max {
+		req.timeout = max
+	}
+	return req, nil
+}
+
+// admit claims an admission slot or answers 429. Callers that get true
+// must call release.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// Refuse instead of queueing: a saturated server answering 429
+		// immediately keeps latency bounded for the queries it did
+		// admit; clients retry with backoff.
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server saturated: too many in-flight queries", http.StatusTooManyRequests)
+		return false
+	}
+	s.inFlight.Add(1)
+	return true
+}
+
+func (s *Server) release() {
+	s.inFlight.Add(-1)
+	<-s.sem
+}
+
+// requestCtx derives the per-request evaluation context.
+func requestCtx(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// handleQuery answers one view query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, err := s.parseQueryRequest(r)
 	if err != nil {
 		s.badRequest(w, err)
 		return
 	}
-	timeout := s.cfg.defaultTimeout()
-	if v := r.Form.Get("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			s.badRequest(w, fmt.Errorf("bad timeout %q (want a positive Go duration like 250ms)", v))
-			return
-		}
-		timeout = d
-	}
-	if max := s.cfg.maxTimeout(); timeout == 0 || timeout > max {
-		timeout = max
-	}
-
-	// Admission control: refuse instead of queueing. A saturated server
-	// answering 429 immediately keeps latency bounded for the queries it
-	// did admit; clients retry with backoff.
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server saturated: too many in-flight queries", http.StatusTooManyRequests)
+	if !s.admit(w) {
 		return
 	}
-	s.inFlight.Add(1)
-	defer func() {
-		s.inFlight.Add(-1)
-		<-s.sem
-	}()
+	defer s.release()
 	if s.testHook != nil {
 		s.testHook()
 	}
 
-	ctx := r.Context()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
+	id := s.reqID.Add(1)
+	ctx, cancel := requestCtx(r, req.timeout)
+	defer cancel()
+
+	// Always-on per-request accounting; additionally a span tree for
+	// one request in TraceSampleEvery.
+	qm := &obs.QueryMetrics{}
+	ctx = obs.WithQueryMetrics(ctx, qm)
+	tr := s.tracer.Sample("request")
+	if tr != nil {
+		tr.Root.SetAttr("request_id", id)
+		tr.Root.SetAttr("class", req.class)
+		tr.Root.SetAttr("query", req.query)
+		ctx = obs.ContextWithSpan(ctx, tr.Root)
 	}
 
 	start := time.Now()
-	nodes, err := s.query(ctx, class, params, s.doc, query)
-	s.lat.Observe(time.Since(start))
+	nodes, err := s.query(ctx, req.class, req.params, s.doc, req.query)
+	elapsed := time.Since(start)
+	s.lat.Observe(elapsed)
+	status := http.StatusOK
 	switch {
 	case err == nil:
 		s.ok.Add(1)
+		s.observePipeline(qm)
 		writeResult(w, nodes)
 	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
 		s.timeouts.Add(1)
-		http.Error(w, fmt.Sprintf("query exceeded its %v deadline", timeout), http.StatusGatewayTimeout)
+		http.Error(w, fmt.Sprintf("query exceeded its %v deadline", req.timeout), status)
 	case errors.Is(err, context.Canceled):
 		// The client went away; nothing useful can be written, but the
 		// status keeps the access log honest (499 is the de-facto
 		// client-closed-request code).
+		status = 499
 		s.clientCancels.Add(1)
-		w.WriteHeader(499)
+		w.WriteHeader(status)
 	case clientFault(err):
+		status = http.StatusBadRequest
 		s.badRequest(w, err)
 	default:
 		// The request was well-formed; the failure is the server's
 		// (derivation, rewriting, or evaluation broke). Reporting it as
 		// 400 would tell the client to stop retrying a query that is
 		// fine, and would hide server bugs from the error budget.
+		status = http.StatusInternalServerError
 		s.internalErrors.Add(1)
-		http.Error(w, fmt.Sprintf("internal error answering query: %v", err), http.StatusInternalServerError)
+		http.Error(w, fmt.Sprintf("internal error answering query: %v", err), status)
 	}
+	if tr != nil {
+		tr.Root.SetAttr("status", status)
+		s.tracer.Keep(tr)
+	}
+	s.maybeLogSlow(id, req, elapsed, status, qm)
+}
+
+// observePipeline feeds one successfully answered request's per-phase
+// accounting into the always-on metrics. All three phase digests are
+// observed exactly once per call — a plan-cache hit contributes a zero
+// rewrite/optimize duration rather than no sample — so each phase
+// histogram's count equals sv_pipeline_total by construction, and the
+// per-phase sums show where wall time actually went, cache and all.
+func (s *Server) observePipeline(qm *obs.QueryMetrics) {
+	s.pipeline.Add(1)
+	s.phases[phaseRewrite].Observe(qm.Rewrite)
+	s.phases[phaseOptimize].Observe(qm.Optimize)
+	s.phases[phaseEval].Observe(qm.Eval)
+	if qm.PlanCacheHit {
+		s.planHits.Add(1)
+	} else {
+		s.planMisses.Add(1)
+	}
+	if qm.EngineCacheHit {
+		s.engineHits.Add(1)
+	} else {
+		s.engineMisses.Add(1)
+	}
+	switch qm.EvalMode {
+	case obs.ModeParallel:
+		s.evalPar.Add(1)
+	case obs.ModeSequential:
+		s.evalSeq.Add(1)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// maybeLogSlow logs one line per admitted query slower than the
+// threshold, with the per-phase breakdown that says where it went slow.
+func (s *Server) maybeLogSlow(id uint64, req *queryRequest, elapsed time.Duration, status int, qm *obs.QueryMetrics) {
+	thr := s.cfg.slowThreshold()
+	if thr <= 0 || elapsed < thr {
+		return
+	}
+	s.slowQueries.Add(1)
+	s.logf("svserve: slow query id=%d class=%s q=%q status=%d total=%v rewrite=%v optimize=%v eval=%v plan_cache_hit=%t mode=%s",
+		id, req.class, req.query, status, elapsed, qm.Rewrite, qm.Optimize, qm.Eval, qm.PlanCacheHit, qm.EvalMode)
+}
+
+// explainzResponse is the /explainz JSON document: the engine's
+// per-phase explain plus the span tree of this exact request.
+type explainzResponse struct {
+	RequestID uint64            `json:"request_id"`
+	Class     string            `json:"class"`
+	Params    map[string]string `json:"params,omitempty"`
+	TotalNs   int64             `json:"total_ns"`
+	Explain   *core.Explain     `json:"explain"`
+	Trace     obs.TraceSnapshot `json:"trace"`
+}
+
+// handleExplainz answers one query through the explain path: rewrite
+// and optimize run fresh (bypassing the plan cache) so every phase has
+// a real measured duration, and the request is always traced regardless
+// of the sampling knob. Parameters are the same as /query.
+func (s *Server) handleExplainz(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseQueryRequest(r)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	s.explains.Add(1)
+
+	id := s.reqID.Add(1)
+	ctx, cancel := requestCtx(r, req.timeout)
+	defer cancel()
+
+	tr := s.tracer.Start("explain")
+	tr.Root.SetAttr("request_id", id)
+	tr.Root.SetAttr("class", req.class)
+	tr.Root.SetAttr("query", req.query)
+	ctx = obs.ContextWithSpan(ctx, tr.Root)
+
+	start := time.Now()
+	ex, err := s.explain(ctx, req.class, req.params, s.doc, req.query)
+	elapsed := time.Since(start)
+	if err != nil {
+		tr.Root.SetAttr("error", err.Error())
+		s.tracer.Keep(tr)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Add(1)
+			http.Error(w, fmt.Sprintf("explain exceeded its %v deadline", req.timeout), http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
+			s.clientCancels.Add(1)
+			w.WriteHeader(499)
+		case clientFault(err):
+			s.badRequest(w, err)
+		default:
+			s.internalErrors.Add(1)
+			http.Error(w, fmt.Sprintf("internal error explaining query: %v", err), http.StatusInternalServerError)
+		}
+		return
+	}
+	s.tracer.Keep(tr)
+	writeJSON(w, explainzResponse{
+		RequestID: id,
+		Class:     req.class,
+		Params:    req.params,
+		TotalNs:   elapsed.Nanoseconds(),
+		Explain:   ex,
+		Trace:     obs.TraceSnapshot{ID: tr.ID, Root: tr.Root.Snapshot()},
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w)
+}
+
+// handleTracez dumps the most recent sampled traces, newest first
+// (?n= bounds the count).
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.FormValue("n"); v != "" {
+		n, _ = strconv.Atoi(v)
+	}
+	started, kept := s.tracer.Stats()
+	writeJSON(w, map[string]any{
+		"sample_every": s.tracer.SampleEvery(),
+		"started":      started,
+		"kept":         kept,
+		"traces":       s.tracer.Recent(n),
+	})
+}
+
+// handleHealthz reports liveness — and readiness: once a graceful drain
+// has begun it answers 503 so load balancers route new work elsewhere
+// while in-flight queries finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // clientFault reports whether a Registry.QueryCtx error is the client's
@@ -244,6 +610,13 @@ func writeResult(w http.ResponseWriter, nodes []*xmltree.Node) {
 	w.Write([]byte(b.String()))
 }
 
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
 func parseParams(kvs []string) (map[string]string, error) {
 	if len(kvs) == 0 {
 		return nil, nil
@@ -263,11 +636,12 @@ func parseParams(kvs []string) (map[string]string, error) {
 // exact observed maximum, histogram-derived percentile estimates, and
 // the full bucket histogram (the geometric ladder of latency.Bounds,
 // 100µs–10s plus +inf; each observation lands in exactly one bucket, so
-// the bucket counts sum to count).
+// the bucket counts sum to count). Microsecond units on the wire; the
+// digests underneath are nanosecond-based.
 type LatencyStats struct {
-	Count     uint64 `json:"count"`
-	SumMicros uint64 `json:"sum_us"`
-	MaxMicros uint64 `json:"max_us"`
+	Count     uint64  `json:"count"`
+	SumMicros uint64  `json:"sum_us"`
+	MaxMicros float64 `json:"max_us"`
 	// P50/P95/P99Micros are estimated from the histogram by linear
 	// interpolation within the rank's bucket (clamped to the observed
 	// max), so they are honest to within one bucket rung.
@@ -275,6 +649,18 @@ type LatencyStats struct {
 	P95Micros float64           `json:"p95_us"`
 	P99Micros float64           `json:"p99_us"`
 	Buckets   map[string]uint64 `json:"buckets"`
+}
+
+func latencyStats(snap latency.Snapshot) LatencyStats {
+	return LatencyStats{
+		Count:     snap.Count,
+		SumMicros: snap.SumUs(),
+		MaxMicros: float64(snap.MaxNs) / 1e3,
+		P50Micros: snap.QuantileUs(0.50),
+		P95Micros: snap.QuantileUs(0.95),
+		P99Micros: snap.QuantileUs(0.99),
+		Buckets:   snap.BucketMap(),
+	}
 }
 
 // ServerStats is the server section of /statsz.
@@ -291,7 +677,26 @@ type ServerStats struct {
 	UptimeSeconds  float64      `json:"uptime_seconds"`
 	DocumentNodes  int          `json:"document_nodes"`
 	DocumentHeight int          `json:"document_height"`
+	Draining       bool         `json:"draining"`
+	SlowQueries    uint64       `json:"slow_queries"`
+	Explains       uint64       `json:"explains"`
 	Latency        LatencyStats `json:"latency"`
+	// Pipeline is the completed-pipeline rollup: the per-phase latency
+	// digests and the cache/mode outcome counters keyed to them (every
+	// phase count equals Pipeline.Count; see observePipeline).
+	Pipeline PipelineStats `json:"pipeline"`
+}
+
+// PipelineStats reports the always-on per-phase accounting.
+type PipelineStats struct {
+	Count           uint64                  `json:"count"`
+	PlanCacheHits   uint64                  `json:"plan_cache_hits"`
+	PlanCacheMisses uint64                  `json:"plan_cache_misses"`
+	EngineHits      uint64                  `json:"engine_cache_hits"`
+	EngineMisses    uint64                  `json:"engine_cache_misses"`
+	SequentialEvals uint64                  `json:"sequential_evals"`
+	ParallelEvals   uint64                  `json:"parallel_evals"`
+	Phases          map[string]LatencyStats `json:"phases"`
 }
 
 // Statsz is the full /statsz document: the server's own counters plus
@@ -303,30 +708,52 @@ type Statsz struct {
 }
 
 // Stats snapshots the server and registry counters.
+//
+// Read ordering matters for snapshots taken under load: effect counters
+// are read before their cause counters (response classes before
+// requests, phase digests before the pipeline count), so every effect a
+// snapshot contains has its cause in the same snapshot. Mid-flight the
+// response classes sum to at most Requests and each phase count is at
+// most Pipeline.Count; at quiescence both are exact equalities.
 func (s *Server) Stats() Statsz {
-	lat := s.lat.Snapshot()
+	phases := make(map[string]LatencyStats, numPhases)
+	for i := range s.phases {
+		phases[phaseNames[i]] = latencyStats(s.phases[i].Snapshot())
+	}
+	pipeline := s.pipeline.Load()
+	ok := s.ok.Load()
+	badRequests := s.badRequests.Load()
+	internalErrors := s.internalErrors.Load()
+	rejected := s.rejected.Load()
+	timeouts := s.timeouts.Load()
+	clientCancels := s.clientCancels.Load()
 	return Statsz{
 		Server: ServerStats{
 			Requests:       s.requests.Load(),
-			OK:             s.ok.Load(),
-			BadRequests:    s.badRequests.Load(),
-			InternalErrors: s.internalErrors.Load(),
-			Rejected:       s.rejected.Load(),
-			Timeouts:       s.timeouts.Load(),
-			ClientCancels:  s.clientCancels.Load(),
+			OK:             ok,
+			BadRequests:    badRequests,
+			InternalErrors: internalErrors,
+			Rejected:       rejected,
+			Timeouts:       timeouts,
+			ClientCancels:  clientCancels,
 			InFlight:       s.inFlight.Load(),
 			MaxInFlight:    s.cfg.maxInFlight(),
 			UptimeSeconds:  time.Since(s.started).Seconds(),
 			DocumentNodes:  s.doc.Size(),
 			DocumentHeight: s.doc.Height(),
-			Latency: LatencyStats{
-				Count:     lat.Count,
-				SumMicros: lat.SumUs,
-				MaxMicros: lat.MaxUs,
-				P50Micros: lat.QuantileUs(0.50),
-				P95Micros: lat.QuantileUs(0.95),
-				P99Micros: lat.QuantileUs(0.99),
-				Buckets:   lat.BucketMap(),
+			Draining:       s.draining.Load(),
+			SlowQueries:    s.slowQueries.Load(),
+			Explains:       s.explains.Load(),
+			Latency:        latencyStats(s.lat.Snapshot()),
+			Pipeline: PipelineStats{
+				Count:           pipeline,
+				PlanCacheHits:   s.planHits.Load(),
+				PlanCacheMisses: s.planMisses.Load(),
+				EngineHits:      s.engineHits.Load(),
+				EngineMisses:    s.engineMisses.Load(),
+				SequentialEvals: s.evalSeq.Load(),
+				ParallelEvals:   s.evalPar.Load(),
+				Phases:          phases,
 			},
 		},
 		Classes: s.reg.Stats(),
@@ -334,8 +761,5 @@ func (s *Server) Stats() Statsz {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.Stats())
+	writeJSON(w, s.Stats())
 }

@@ -221,8 +221,8 @@ func TestStatszShape(t *testing.T) {
 	if !(sv.Latency.P50Micros <= sv.Latency.P95Micros && sv.Latency.P95Micros <= sv.Latency.P99Micros) {
 		t.Errorf("percentiles not ordered: %+v", sv.Latency)
 	}
-	if sv.Latency.P99Micros > float64(sv.Latency.MaxMicros) {
-		t.Errorf("p99 %v exceeds max %d", sv.Latency.P99Micros, sv.Latency.MaxMicros)
+	if sv.Latency.P99Micros > sv.Latency.MaxMicros {
+		t.Errorf("p99 %v exceeds max %v", sv.Latency.P99Micros, sv.Latency.MaxMicros)
 	}
 	var total uint64
 	for _, n := range sv.Latency.Buckets {

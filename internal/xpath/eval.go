@@ -74,6 +74,24 @@ func EvalAtCtx(ctx context.Context, p Path, nodes []*xmltree.Node) ([]*xmltree.N
 	return xmltree.SortDocOrder(out), nil
 }
 
+// EvalDocCtxCounted is EvalDocCtx additionally reporting the
+// evaluation's cooperation ticks — one per path step plus one per node
+// in the hot loops (descendant walks, qualifier filtering) — as a
+// nodes-visited proxy for observability. The count is maintained only
+// when ctx is non-nil (the tick counter rides the cancellation
+// machinery); the serving layer always passes a real context.
+func EvalDocCtxCounted(ctx context.Context, p Path, doc *xmltree.Document) ([]*xmltree.Node, uint64, error) {
+	e := newSeqEval(ctx)
+	if err := e.cancelled(); err != nil {
+		return nil, 0, err
+	}
+	out, err := e.path(p, []*xmltree.Node{doc.Root})
+	if err != nil {
+		return nil, uint64(e.ticks), err
+	}
+	return xmltree.SortDocOrder(out), uint64(e.ticks), nil
+}
+
 // EvalQualCtx is EvalQualErr honoring a context; see EvalDocCtx.
 func EvalQualCtx(ctx context.Context, q Qual, v *xmltree.Node) (bool, error) {
 	e := newSeqEval(ctx)

@@ -65,6 +65,19 @@ func (s *ParallelStats) Snapshot() (sequential, parallel, unionForks, partitions
 	return s.SequentialEvals.Load(), s.ParallelEvals.Load(), s.UnionForks.Load(), s.Partitions.Load()
 }
 
+// AddFrom accumulates another stats value's counters into s, so a
+// per-call local ParallelStats (which reports one request's fan-out)
+// can roll up into an engine-wide aggregate.
+func (s *ParallelStats) AddFrom(o *ParallelStats) {
+	if o == nil {
+		return
+	}
+	s.SequentialEvals.Add(o.SequentialEvals.Load())
+	s.ParallelEvals.Add(o.ParallelEvals.Load())
+	s.UnionForks.Add(o.UnionForks.Load())
+	s.Partitions.Add(o.Partitions.Load())
+}
+
 // EvalDocParallel evaluates a query over a whole document like
 // EvalDocErr, fanning union branches and large descendant context sets
 // out over a bounded worker pool. Documents smaller than the threshold

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# profile captures a CPU profile from a loaded svserve: it starts the
+# server on loopback, begins a /debug/pprof/profile capture, drives the
+# capture window with svload over TCP, and leaves the profile at
+# profile.cpu.pprof (override with PROFILE_OUT). Inspect it with
+# `go tool pprof profile.cpu.pprof`.
+#
+# Usage: scripts/profile.sh [port]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${1:-${PROFILE_PORT:-18345}}"
+BASE="http://127.0.0.1:${PORT}"
+OUT="${PROFILE_OUT:-profile.cpu.pprof}"
+SECONDS_CAPTURE="${PROFILE_SECONDS:-5}"
+WORK="$(mktemp -d)"
+SRV_PID=""
+
+cleanup() {
+    if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "profile: building binaries"
+go build -o "$WORK/bin/" ./cmd/svserve ./cmd/svload ./cmd/xmlgen
+
+echo "profile: generating hospital document"
+"$WORK/bin/xmlgen" -builtin hospital -seed 1 -max-repeat 8 >"$WORK/hospital.xml"
+
+echo "profile: starting svserve on $BASE"
+"$WORK/bin/svserve" -builtin hospital -doc "$WORK/hospital.xml" \
+    -addr "127.0.0.1:${PORT}" -max-inflight 16 -timeout 250ms \
+    >"$WORK/svserve.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 100); do
+    curl -fsS -o /dev/null "$BASE/healthz" 2>/dev/null && break
+    kill -0 "$SRV_PID" 2>/dev/null || { cat "$WORK/svserve.log" >&2; exit 1; }
+    sleep 0.1
+done
+
+echo "profile: capturing ${SECONDS_CAPTURE}s CPU profile while svload drives the server"
+curl -fsS -o "$OUT" "$BASE/debug/pprof/profile?seconds=${SECONDS_CAPTURE}" &
+CURL_PID=$!
+"$WORK/bin/svload" -url "$BASE" -builtin hospital -levels 16 \
+    -duration "${SECONDS_CAPTURE}s" -timeout 250ms -out /dev/null -q
+wait "$CURL_PID"
+
+kill -TERM "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "profile: wrote $OUT ($(wc -c <"$OUT") bytes)"
+echo "profile: inspect with: go tool pprof $OUT"
