@@ -19,6 +19,15 @@ check: build
 bench:
 	$(GO) test -run xxx -bench . -benchtime 100x .
 
+# bench-smoke runs the serving-relevant benchmarks once each — no
+# timings asserted, just "they still build, run, and agree" (the
+# indexed benchmarks cross-check their evaluators' result counts).
+# CI runs this so a refactor cannot silently break the benchmark
+# harness between loadbench refreshes.
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkPlanCache|BenchmarkDeepDescendant' -benchtime 1x .
+
 # loadsmoke drives the in-process hospital server through a short ramp
 # and fails (exit 2) if overload is reached without the admitted-latency
 # bound holding. CI runs this; `make loadbench` is the longer run that

@@ -552,3 +552,57 @@ func BenchmarkGenerate(b *testing.B) {
 		})
 	}
 }
+
+// ---------- deep-descendant workload: walk vs index vs parallel ----------
+
+// BenchmarkDeepDescendant is the ROADMAP's structural-index target
+// workload: //dept//treatment//bill-class queries over a 10k+ node
+// hospital document, comparing the tree-walk evaluator, the
+// structural-index evaluator, and the worker-pool evaluator. The
+// index-build case prices what the serving layer amortizes via its
+// per-document index cache.
+func BenchmarkDeepDescendant(b *testing.B) {
+	doc := dtds.GenerateHospital(1, 48)
+	if doc.Size() < 10000 {
+		b.Fatalf("document too small: %d nodes", doc.Size())
+	}
+	idx := xpath.NewIndex(doc)
+	queries := []struct{ name, q string }{
+		{"dept-treatment-bill", "//dept//treatment//bill"},
+		{"deep-text", "//dept//patientInfo//name/text()"},
+		{"qual-descend", "//dept[.//trial]//bill"},
+	}
+	b.ReportMetric(float64(doc.Size()), "docnodes")
+	for _, tc := range queries {
+		p := xpath.MustParse(tc.q)
+		want := len(xpath.EvalDoc(p, doc))
+		b.Run(tc.name+"/walk", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := xpath.EvalDocErr(p, doc)
+				if err != nil || len(out) != want {
+					b.Fatalf("walk: %d nodes, err %v", len(out), err)
+				}
+			}
+		})
+		b.Run(tc.name+"/indexed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if out := xpath.EvalIndexed(p, idx); len(out) != want {
+					b.Fatalf("indexed: %d nodes, want %d", len(out), want)
+				}
+			}
+		})
+		b.Run(tc.name+"/parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := xpath.EvalDocParallel(p, doc, xpath.ParallelConfig{}, nil)
+				if err != nil || len(out) != want {
+					b.Fatalf("parallel: %d nodes, err %v", len(out), err)
+				}
+			}
+		})
+	}
+	b.Run("index-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			xpath.NewIndex(doc)
+		}
+	})
+}

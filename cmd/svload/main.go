@@ -46,7 +46,7 @@ import (
 
 func main() {
 	var (
-		builtin     = flag.String("builtin", "hospital", "scenario: hospital, adex, fig7, or forum")
+		builtin     = flag.String("builtin", "hospital", "scenario: hospital, hospital-large, adex, fig7, or forum")
 		docPath     = flag.String("doc", "", "XML document file (default: generate one for the scenario)")
 		genSeed     = flag.Int64("gen-seed", 1, "document generator seed")
 		genRepeat   = flag.Int("gen-repeat", 0, "document generator branching factor (0 = scenario default)")
@@ -58,6 +58,7 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 16, "in-process server admission limit (excess gets 429)")
 		parallel    = flag.Bool("parallel", false, "in-process engines use the parallel worker-pool evaluator")
 		workers     = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		indexed     = flag.Bool("indexed", true, "in-process engines answer large-document descendant queries from a cached label index")
 		backoff     = flag.Duration("reject-backoff", time.Millisecond, "closed-loop pause after a 429 before retrying (negative = spin)")
 		seed        = flag.Int64("seed", 1, "load-schedule seed")
 		out         = flag.String("out", "BENCH_svload.json", "report file (\"-\" for stdout only)")
@@ -87,6 +88,7 @@ func main() {
 		reg, d, err := buildScenario(*builtin, *docPath, *genSeed, *genRepeat, core.Config{
 			Parallel:       *parallel,
 			ParallelConfig: xpath.ParallelConfig{Workers: *workers},
+			Indexed:        *indexed,
 		})
 		if err != nil {
 			fatal(err)
@@ -244,6 +246,11 @@ func buildScenario(builtin, docPath string, genSeed int64, genRepeat int, engine
 	case "hospital":
 		spec, class = dtds.NurseSpec(), "nurse"
 		gen = func(r int) *xmltree.Document { return dtds.GenerateHospital(genSeed, defaultRepeat(r, 8)) }
+	case "hospital-large":
+		// The structural-index serving workload: same policy, but the
+		// generated document is 10k+ nodes so descendant steps dominate.
+		spec, class = dtds.NurseSpec(), "nurse"
+		gen = func(r int) *xmltree.Document { return dtds.GenerateHospital(genSeed, defaultRepeat(r, 48)) }
 	case "adex":
 		spec, class = dtds.AdexSpec(), "buyer"
 		gen = func(r int) *xmltree.Document { return dtds.GenerateAdex(genSeed, defaultRepeat(r, 8)) }
@@ -259,7 +266,7 @@ func buildScenario(builtin, docPath string, genSeed int64, genRepeat int, engine
 		spec, class = dtds.ForumGuestSpec(), "guest"
 		gen = func(r int) *xmltree.Document { return dtds.GenerateForum(genSeed, defaultRepeat(r, 3), 10) }
 	default:
-		return nil, nil, fmt.Errorf("unknown scenario %q (want hospital, adex, fig7, or forum)", builtin)
+		return nil, nil, fmt.Errorf("unknown scenario %q (want hospital, hospital-large, adex, fig7, or forum)", builtin)
 	}
 	reg := policy.NewRegistryWithConfig(spec.D, 0, engineCfg)
 	if _, err := reg.DefineSpec(class, spec); err != nil {

@@ -16,10 +16,11 @@
 // mode — the CLI twin of the server's /explainz); -no-optimize skips
 // the optimization pass; -indexed evaluates with the label-index
 // evaluator; -parallel evaluates with the worker-pool evaluator
-// (-workers bounds it); -stats prints the engine's plan-cache and
-// evaluation counters to stderr; -repeat re-runs the query to exercise
-// the plan cache; -timeout bounds each evaluation with a deadline (a
-// query that exceeds it fails with a context error).
+// (-workers bounds it); the two are mutually exclusive. -stats prints
+// the engine's plan-cache and evaluation counters to stderr; -repeat
+// re-runs the query to exercise the plan cache; -timeout bounds each
+// evaluation with a deadline regardless of evaluator (a query that
+// exceeds it fails with a context error).
 package main
 
 import (
@@ -62,6 +63,9 @@ func main() {
 
 	if *query == "" || *docPath == "" {
 		fatal(fmt.Errorf("need -q and -doc"))
+	}
+	if *indexed && *parallel {
+		fatal(fmt.Errorf("-indexed and -parallel are mutually exclusive; pick one evaluator"))
 	}
 	if *repeat < 1 {
 		*repeat = 1
@@ -127,17 +131,25 @@ func main() {
 			}
 		}
 		if *noOptimize || *indexed {
+			ctx := context.Background()
+			if *timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *timeout)
+				defer cancel()
+			}
 			var result []*xmltree.Node
 			var evalStats xpath.ParallelStats
 			switch {
 			case *indexed:
-				result = xpath.EvalIndexed(final, xpath.NewIndex(doc))
+				if result, err = xpath.EvalIndexedCtx(ctx, final, xpath.NewIndex(doc)); err != nil {
+					fatal(err)
+				}
 			case *parallel:
-				if result, err = xpath.EvalDocParallel(final, doc, cfg.ParallelConfig, &evalStats); err != nil {
+				if result, err = xpath.EvalDocParallelCtx(ctx, final, doc, cfg.ParallelConfig, &evalStats); err != nil {
 					fatal(err)
 				}
 			default:
-				if result, err = xpath.EvalDocErr(final, doc); err != nil {
+				if result, err = xpath.EvalDocCtx(ctx, final, doc); err != nil {
 					fatal(err)
 				}
 			}
@@ -187,8 +199,8 @@ func printStats(engine *core.Engine, show bool) {
 		s.PlanCache.Hits, s.PlanCache.Misses, s.PlanCache.Evictions, s.PlanCache.Entries, s.PlanCache.Capacity)
 	fmt.Fprintf(os.Stderr, "height cache: %d hits, %d misses, %d evictions, %d/%d entries\n",
 		s.HeightCache.Hits, s.HeightCache.Misses, s.HeightCache.Evictions, s.HeightCache.Entries, s.HeightCache.Capacity)
-	fmt.Fprintf(os.Stderr, "evaluation:   %d sequential, %d parallel (%d union forks, %d partitions)\n",
-		s.SequentialEvals, s.ParallelEvals, s.UnionForks, s.Partitions)
+	fmt.Fprintf(os.Stderr, "evaluation:   %d sequential, %d parallel, %d indexed (%d union forks, %d partitions)\n",
+		s.SequentialEvals, s.ParallelEvals, s.IndexedEvals, s.UnionForks, s.Partitions)
 }
 
 func buildEngine(viewPath, builtin, dtdPath, specPath string, params cli.Params, cfg core.Config) (*core.Engine, error) {

@@ -25,8 +25,11 @@
 // Flags -timeout and -max-timeout bound each request's evaluation
 // deadline; -max-inflight caps concurrent evaluations; -parallel,
 // -workers, and -threshold tune the worker-pool evaluator handed to
-// every derived engine; -trace-sample/-trace-ring tune request-trace
-// sampling and -slow-query the slow-query log threshold.
+// every derived engine; -indexed (on by default) lets engines answer
+// descendant queries over large documents from a cached per-document
+// label index, with -index-threshold setting the minimum document
+// size; -trace-sample/-trace-ring tune request-trace sampling and
+// -slow-query the slow-query log threshold.
 package main
 
 import (
@@ -70,6 +73,8 @@ func main() {
 		parallel    = flag.Bool("parallel", false, "evaluate with the parallel worker-pool evaluator")
 		workers     = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 		threshold   = flag.Int("threshold", 0, "parallel-evaluation size threshold (0 = default)")
+		indexed     = flag.Bool("indexed", true, "serve descendant queries over large documents from a cached label index")
+		indexMin    = flag.Int("index-threshold", 0, "minimum document size (nodes) for indexed evaluation (0 = default)")
 		headerWait  = flag.Duration("read-header-timeout", 5*time.Second, "how long a connection may take to send its request headers")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
 		traceSample = flag.Int("trace-sample", 0, "keep a span tree for one request in N (0 = tracing off, 1 = every request)")
@@ -86,6 +91,8 @@ func main() {
 	engineCfg := core.Config{
 		Parallel:       *parallel,
 		ParallelConfig: xpath.ParallelConfig{Workers: *workers, Threshold: *threshold},
+		Indexed:        *indexed,
+		IndexThreshold: *indexMin,
 	}
 	reg, err := buildRegistry(*builtin, *dtdPath, classes, engineCfg)
 	if err != nil {

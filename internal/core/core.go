@@ -34,13 +34,21 @@ import (
 	"repro/internal/xpath"
 )
 
-// Default capacities for the engine's two caches. Plans are small (an
-// AST per entry); per-height rewriters embed an unfolded DTD and are
-// bigger, so their cache is tighter.
+// Default capacities for the engine's caches. Plans are small (an AST
+// per entry); per-height rewriters embed an unfolded DTD and are
+// bigger, so their cache is tighter; label indexes hold a posting-list
+// entry per document node, so the index cache is tightest — sized for
+// the handful of live documents a server actually queries.
 const (
 	DefaultPlanCacheCapacity   = 512
 	DefaultHeightCacheCapacity = 64
+	DefaultIndexCacheCapacity  = 16
 )
+
+// DefaultIndexThreshold is the document size (nodes) below which an
+// indexed-configured engine keeps walking: building and caching a label
+// index for a small tree costs more than the walk it replaces.
+const DefaultIndexThreshold = 512
 
 // ErrUnboundVars marks queries rejected at plan time because they still
 // contain unbound $variables — the caller's fault (a missing parameter
@@ -63,6 +71,20 @@ type Config struct {
 	Parallel bool
 	// ParallelConfig tunes the worker pool when Parallel is set.
 	ParallelConfig xpath.ParallelConfig
+	// Indexed turns on indexed evaluation: the engine builds and caches
+	// a per-document label index (xpath.Index) and answers queries with
+	// descendant steps over documents of at least IndexThreshold nodes
+	// from posting lists instead of subtree walks. Per query the engine
+	// picks indexed, parallel, or sequential: indexed when applicable,
+	// else parallel when Parallel is set, else the sequential walk.
+	Indexed bool
+	// IndexThreshold is the minimum document size (nodes) for indexed
+	// evaluation. 0 means DefaultIndexThreshold; negative forces the
+	// index on for tests.
+	IndexThreshold int
+	// IndexCacheCapacity bounds the per-document index cache. 0 means
+	// DefaultIndexCacheCapacity.
+	IndexCacheCapacity int
 }
 
 func (c Config) planCap() int {
@@ -77,6 +99,23 @@ func (c Config) heightCap() int {
 		return c.HeightCacheCapacity
 	}
 	return DefaultHeightCacheCapacity
+}
+
+func (c Config) indexCap() int {
+	if c.IndexCacheCapacity > 0 {
+		return c.IndexCacheCapacity
+	}
+	return DefaultIndexCacheCapacity
+}
+
+func (c Config) indexThreshold() int {
+	switch {
+	case c.IndexThreshold > 0:
+		return c.IndexThreshold
+	case c.IndexThreshold < 0:
+		return 1
+	}
+	return DefaultIndexThreshold
 }
 
 // Engine enforces one access policy: it owns the derived security view
@@ -100,9 +139,16 @@ type Engine struct {
 	// height class) so repeated queries skip rewrite+optimize.
 	plans *plancache.Cache[*Prepared]
 
-	queries   atomic.Uint64
-	cancelled atomic.Uint64
-	evalStats xpath.ParallelStats
+	// indexes caches per-document label indexes, keyed by document
+	// pointer identity. A cached Index holds its document alive, so a
+	// live entry can never alias a different document at the same
+	// address; indexFor verifies anyway and rebuilds on mismatch.
+	indexes *plancache.Cache[*xpath.Index]
+
+	queries      atomic.Uint64
+	cancelled    atomic.Uint64
+	evalStats    xpath.ParallelStats
+	indexedEvals atomic.Uint64
 }
 
 // New derives the security view for a bound access specification (no
@@ -139,6 +185,7 @@ func FromViewConfig(view *secview.View, cfg Config) (*Engine, error) {
 		cfg:      cfg,
 		byHeight: plancache.New[*rewrite.Rewriter](cfg.heightCap()),
 		plans:    plancache.New[*Prepared](cfg.planCap()),
+		indexes:  plancache.New[*xpath.Index](cfg.indexCap()),
 	}
 	if !view.IsRecursive() {
 		r, err := rewrite.ForView(view)
@@ -293,15 +340,57 @@ func (e *Engine) QueryCtx(ctx context.Context, doc *xmltree.Document, p xpath.Pa
 	return out, err
 }
 
-// evalPrepared runs the evaluation phase. When the context carries a
+// indexApplicable reports whether the engine should answer this
+// (plan, document) pair with the index-backed evaluator: indexed mode
+// is on, the document is big enough to repay the index, and the query
+// is descend-class — a descendant step in the evaluated plan, or in
+// the source view query. Fig. 6 rewriting unfolds view-level // steps
+// into unions of label chains, so most serving plans carry no Descend
+// of their own; routing descend-sourced plans through the indexed
+// evaluator keeps one consistent mode for the class (visible in
+// /explainz and /metricsz) and serves any residual // from posting
+// lists with the per-step selectivity heuristic. Child-axis-only view
+// queries touch the same nodes either way, so the walk serves them
+// without index overhead.
+func (e *Engine) indexApplicable(prep *Prepared, doc *xmltree.Document) bool {
+	if !e.cfg.Indexed || doc.Size() < e.cfg.indexThreshold() {
+		return false
+	}
+	return xpath.HasDescend(prep.Optimized) || xpath.HasDescend(prep.Source)
+}
+
+// indexFor returns the cached label index for the document, building
+// and caching it on first use. Keys are document pointer identities; a
+// cached index pins its document, so a live entry cannot collide with a
+// recycled address, and the Doc check below is pure defense.
+func (e *Engine) indexFor(doc *xmltree.Document) *xpath.Index {
+	key := fmt.Sprintf("%p", doc)
+	idx, _ := e.indexes.GetOrCompute(key, func() (*xpath.Index, error) {
+		return xpath.NewIndex(doc), nil
+	})
+	if idx == nil || idx.Doc() != doc {
+		idx = xpath.NewIndex(doc)
+		e.indexes.Put(key, idx)
+	}
+	return idx
+}
+
+// evalPrepared runs the evaluation phase, picking the eval mode per
+// query: indexed when applicable (see indexApplicable), else parallel
+// when configured, else the sequential walk. When the context carries a
 // QueryMetrics carrier or a trace span it additionally reports the eval
-// mode actually taken, the work counters (sequential cooperation ticks,
-// or this call's union forks and partitions), and the phase duration;
-// a bare context takes the uninstrumented fast path unchanged.
+// mode actually taken, the work counters (cooperation ticks, or this
+// call's union forks and partitions), and the phase duration; a bare
+// context takes the uninstrumented fast path unchanged.
 func (e *Engine) evalPrepared(ctx context.Context, prep *Prepared, doc *xmltree.Document) ([]*xmltree.Node, error) {
 	qm := obs.QueryMetricsFromContext(ctx)
 	_, sp := obs.StartSpan(ctx, "eval")
+	indexed := e.indexApplicable(prep, doc)
 	if qm == nil && sp == nil {
+		if indexed {
+			e.indexedEvals.Add(1)
+			return xpath.EvalIndexedCtx(ctx, prep.Optimized, e.indexFor(doc))
+		}
 		if e.cfg.Parallel {
 			return xpath.EvalDocParallelCtx(ctx, prep.Optimized, doc, e.cfg.ParallelConfig, &e.evalStats)
 		}
@@ -312,7 +401,17 @@ func (e *Engine) evalPrepared(ctx context.Context, prep *Prepared, doc *xmltree.
 	var out []*xmltree.Node
 	var err error
 	mode := obs.ModeSequential
-	if e.cfg.Parallel {
+	switch {
+	case indexed:
+		e.indexedEvals.Add(1)
+		mode = obs.ModeIndexed
+		var ticks uint64
+		out, ticks, err = xpath.EvalIndexedCtxCounted(ctx, prep.Optimized, e.indexFor(doc))
+		if qm != nil {
+			qm.NodesVisited = ticks
+		}
+		sp.SetAttr("nodes_visited", ticks)
+	case e.cfg.Parallel:
 		// A per-call local stats value reports this request's fan-out
 		// alone, then rolls up into the engine-wide aggregate.
 		var local xpath.ParallelStats
@@ -327,7 +426,7 @@ func (e *Engine) evalPrepared(ctx context.Context, prep *Prepared, doc *xmltree.
 		}
 		sp.SetAttr("union_forks", forks)
 		sp.SetAttr("partitions", parts)
-	} else {
+	default:
 		e.evalStats.SequentialEvals.Add(1)
 		var ticks uint64
 		out, ticks, err = xpath.EvalDocCtxCounted(ctx, prep.Optimized, doc)
@@ -382,9 +481,10 @@ type Explain struct {
 	// RewrittenSize and OptimizedSize are AST sizes (xpath.Size).
 	RewrittenSize int `json:"rewritten_size"`
 	OptimizedSize int `json:"optimized_size"`
-	// EvalMode is what the evaluator actually did (obs.ModeSequential
-	// or obs.ModeParallel); NodesVisited / UnionForks / Partitions are
-	// its work counters for this run (see obs.QueryMetrics).
+	// EvalMode is what the evaluator actually did (obs.ModeSequential,
+	// obs.ModeParallel, or obs.ModeIndexed); NodesVisited / UnionForks
+	// / Partitions are its work counters for this run (see
+	// obs.QueryMetrics).
 	EvalMode     string `json:"eval_mode"`
 	NodesVisited uint64 `json:"nodes_visited,omitempty"`
 	UnionForks   uint64 `json:"union_forks,omitempty"`
@@ -480,11 +580,15 @@ type Stats struct {
 	// HeightCache reports the per-height rewriter cache (recursive
 	// views only; empty for flat views).
 	HeightCache plancache.Stats `json:"height_cache"`
-	// SequentialEvals and ParallelEvals count evaluations by path;
-	// UnionForks and Partitions count the parallel evaluator's fan-outs
-	// (see xpath.ParallelStats).
+	// IndexCache reports the per-document label index cache (indexed
+	// mode only; empty otherwise).
+	IndexCache plancache.Stats `json:"index_cache"`
+	// SequentialEvals, ParallelEvals, and IndexedEvals count
+	// evaluations by path; UnionForks and Partitions count the parallel
+	// evaluator's fan-outs (see xpath.ParallelStats).
 	SequentialEvals uint64 `json:"sequential_evals"`
 	ParallelEvals   uint64 `json:"parallel_evals"`
+	IndexedEvals    uint64 `json:"indexed_evals"`
 	UnionForks      uint64 `json:"union_forks"`
 	Partitions      uint64 `json:"partitions"`
 	// OptimizeRules and OptimizePruned count the optimizer's DTD-driven
@@ -503,8 +607,10 @@ func (e *Engine) Stats() Stats {
 		Cancelled:       e.cancelled.Load(),
 		PlanCache:       e.plans.Stats(),
 		HeightCache:     e.byHeight.Stats(),
+		IndexCache:      e.indexes.Stats(),
 		SequentialEvals: seq,
 		ParallelEvals:   par,
+		IndexedEvals:    e.indexedEvals.Load(),
 		UnionForks:      forks,
 		Partitions:      parts,
 		OptimizeRules:   rules,
@@ -573,9 +679,22 @@ func (q *Prepared) EvalParallelCtx(ctx context.Context, doc *xmltree.Document, c
 	return xpath.EvalDocParallelCtx(ctx, q.Optimized, doc, cfg, stats)
 }
 
-// EvalIndexed runs a prepared query against a prebuilt label index.
+// EvalIndexed runs a prepared query against a prebuilt label index. It
+// panics on unbound $variables; see EvalIndexedCtx.
 func (q *Prepared) EvalIndexed(idx *xpath.Index) []*xmltree.Node {
 	return xpath.EvalIndexed(q.Optimized, idx)
+}
+
+// EvalIndexedErr is EvalIndexed returning an error instead of
+// panicking.
+func (q *Prepared) EvalIndexedErr(idx *xpath.Index) ([]*xmltree.Node, error) {
+	return xpath.EvalIndexedErr(q.Optimized, idx)
+}
+
+// EvalIndexedCtx is EvalIndexedErr honoring a context deadline or
+// cancellation.
+func (q *Prepared) EvalIndexedCtx(ctx context.Context, idx *xpath.Index) ([]*xmltree.Node, error) {
+	return xpath.EvalIndexedCtx(ctx, q.Optimized, idx)
 }
 
 // Materialize builds the view instance T_v of a document — the view's

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/dtds"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -242,5 +244,99 @@ func TestPrepareServedFromPlanCache(t *testing.T) {
 	}
 	if s := e.Stats(); s.PlanCache.Entries != 1 {
 		t.Errorf("Query built a second plan for a prepared query: %+v", s.PlanCache)
+	}
+}
+
+// TestIndexedEngineMatchesSequential: the tentpole serving contract —
+// an engine with the structural index enabled answers descendant
+// queries from posting lists, matches the sequential evaluator node
+// for node, and reports the mode through Explain and Stats.
+func TestIndexedEngineMatchesSequential(t *testing.T) {
+	spec, err := dtds.NurseSpec().Bind(map[string]string{"wardNo": "1"})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	seqE, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	idxE, err := NewWithConfig(spec, Config{Indexed: true, IndexThreshold: -1})
+	if err != nil {
+		t.Fatalf("NewWithConfig: %v", err)
+	}
+	doc := dtds.GenerateHospital(17, 6)
+	for _, q := range []string{
+		"//patient/name",
+		"//dept//treatment//bill",
+		"//bill",
+		"//patient[wardNo]/name",
+		"dept/staffInfo/staff/*", // no // step: falls back to sequential
+	} {
+		want, err := seqE.QueryString(doc, q)
+		if err != nil {
+			t.Fatalf("sequential %q: %v", q, err)
+		}
+		got, err := idxE.QueryString(doc, q)
+		if err != nil {
+			t.Fatalf("indexed %q: %v", q, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: indexed %d nodes, sequential %d", q, len(got), len(want))
+		}
+	}
+	s := idxE.Stats()
+	if s.IndexedEvals == 0 {
+		t.Errorf("indexed engine recorded no indexed evals: %+v", s)
+	}
+	if s.SequentialEvals == 0 {
+		t.Errorf("descendant-free query should have fallen back to sequential: %+v", s)
+	}
+	if s.IndexCache.Entries == 0 || s.IndexCache.Misses == 0 {
+		t.Errorf("index cache never populated: %+v", s.IndexCache)
+	}
+	// The second query over the same document reuses the cached index.
+	if s.IndexCache.Hits == 0 {
+		t.Errorf("index cache never hit across queries: %+v", s.IndexCache)
+	}
+}
+
+// TestExplainReportsIndexedMode: /explainz's EvalMode shows what the
+// evaluator actually did, including the indexed mode and its
+// nodes-visited counter.
+func TestExplainReportsIndexedMode(t *testing.T) {
+	spec, err := dtds.NurseSpec().Bind(map[string]string{"wardNo": "1"})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	e, err := NewWithConfig(spec, Config{Indexed: true, IndexThreshold: -1})
+	if err != nil {
+		t.Fatalf("NewWithConfig: %v", err)
+	}
+	doc := dtds.GenerateHospital(3, 4)
+	p, err := xpath.Parse("//dept//treatment//bill")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ex, err := e.ExplainCtx(context.Background(), doc, p)
+	if err != nil {
+		t.Fatalf("ExplainCtx: %v", err)
+	}
+	if ex.EvalMode != obs.ModeIndexed {
+		t.Errorf("EvalMode = %q, want %q", ex.EvalMode, obs.ModeIndexed)
+	}
+	if ex.NodesVisited == 0 {
+		t.Errorf("indexed explain reported zero nodes visited")
+	}
+	// A small document under the default threshold stays sequential.
+	small, err := NewWithConfig(spec, Config{Indexed: true})
+	if err != nil {
+		t.Fatalf("NewWithConfig: %v", err)
+	}
+	ex2, err := small.ExplainCtx(context.Background(), doc, p)
+	if err != nil {
+		t.Fatalf("ExplainCtx: %v", err)
+	}
+	if doc.Size() < DefaultIndexThreshold && ex2.EvalMode != obs.ModeSequential {
+		t.Errorf("below-threshold EvalMode = %q, want %q", ex2.EvalMode, obs.ModeSequential)
 	}
 }

@@ -87,6 +87,49 @@ func HospitalMix() Mix {
 	return m
 }
 
+// HospitalLargeMix is the large-document variant of the hospital mix
+// (svload -builtin hospital-large): the document is generated an order
+// of magnitude bigger (10k+ nodes), and the mix leans on the
+// deep-descendant queries whose cost scales with document size — the
+// workload the structural index serves from posting lists instead of
+// subtree walks.
+func HospitalLargeMix() Mix {
+	var m Mix
+	for _, ward := range []string{"1", "2", "3"} {
+		m = append(m,
+			Entry{
+				Name:   "descend-w" + ward,
+				Weight: 4,
+				Class:  "nurse",
+				Query:  "//dept//treatment//bill",
+				Params: map[string]string{"wardNo": ward},
+			},
+			Entry{
+				Name:   "deep-text-w" + ward,
+				Weight: 2,
+				Class:  "nurse",
+				Query:  "//dept//patientInfo//name/text()",
+				Params: map[string]string{"wardNo": ward},
+			},
+			Entry{
+				Name:   "cheap-w" + ward,
+				Weight: 2,
+				Class:  "nurse",
+				Query:  "//patient/name",
+				Params: map[string]string{"wardNo": ward},
+			},
+			Entry{
+				Name:   "qual-descend-w" + ward,
+				Weight: 1,
+				Class:  "nurse",
+				Query:  "//dept[.//trial]//bill",
+				Params: map[string]string{"wardNo": ward},
+			},
+		)
+	}
+	return m
+}
+
 // ForumMix is the recursive-view mix (the forum scenario's guest class
 // over a recursive thread DTD): rewriting goes through §4.2 unfolding,
 // which is the expensive rewriting tail a load mix must include.
@@ -124,12 +167,14 @@ func MixFor(builtin string) (Mix, error) {
 	switch builtin {
 	case "hospital":
 		return HospitalMix(), nil
+	case "hospital-large":
+		return HospitalLargeMix(), nil
 	case "adex":
 		return AdexMix(), nil
 	case "fig7":
 		return Fig7Mix(), nil
 	}
-	return nil, fmt.Errorf("loadgen: no default mix for scenario %q (have hospital, adex, fig7)", builtin)
+	return nil, fmt.Errorf("loadgen: no default mix for scenario %q (have hospital, hospital-large, adex, fig7)", builtin)
 }
 
 // ParseEntry parses the svload -query flag syntax:

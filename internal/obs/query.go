@@ -9,6 +9,7 @@ import (
 const (
 	ModeSequential = "sequential"
 	ModeParallel   = "parallel"
+	ModeIndexed    = "indexed"
 )
 
 // QueryMetrics is the always-on per-request accounting the pipeline
@@ -37,14 +38,16 @@ type QueryMetrics struct {
 	PlanCacheHit   bool
 	EngineCacheHit bool
 
-	// EvalMode is ModeSequential or ModeParallel — what the evaluator
-	// actually did, not what was configured (a parallel-configured
-	// engine still runs small inputs sequentially).
+	// EvalMode is ModeSequential, ModeParallel, or ModeIndexed — what
+	// the evaluator actually did, not what was configured (a
+	// parallel-configured engine still runs small inputs sequentially;
+	// an indexed-configured one walks small documents and
+	// child-axis-only queries).
 	EvalMode string
-	// NodesVisited counts the sequential evaluator's cooperation ticks
-	// (one per path step plus one per node in the hot loops) — a
-	// work-done proxy. Zero for parallel evaluations, which report
-	// UnionForks/Partitions instead.
+	// NodesVisited counts the sequential or indexed evaluator's
+	// cooperation ticks (one per path step plus one per node in the hot
+	// loops) — a work-done proxy. Zero for parallel evaluations, which
+	// report UnionForks/Partitions instead.
 	NodesVisited uint64
 	// UnionForks and Partitions are the parallel evaluator's fan-outs
 	// for this request alone.

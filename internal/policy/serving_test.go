@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -108,5 +109,49 @@ func TestRegistryEngineConfigPropagates(t *testing.T) {
 	}
 	if got := e.Stats().PlanCache.Capacity; got != 7 {
 		t.Errorf("plan cache capacity = %d, want 7", got)
+	}
+}
+
+// TestRegistryIndexedModePropagates: the Indexed engine config reaches
+// class engines through the registry, and descendant-class queries over
+// a large document are answered by the index-backed evaluator with the
+// same result set.
+func TestRegistryIndexedModePropagates(t *testing.T) {
+	plain := hospitalRegistry(t)
+	idx := NewRegistryWithConfig(dtds.Hospital(), 0, core.Config{Indexed: true, IndexThreshold: -1})
+	if _, err := idx.Define("nurse", dtds.NurseSpecSource); err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+	doc := dtds.GenerateHospital(11, 5)
+	params := map[string]string{"wardNo": "1"}
+	for _, q := range []string{"//patient/name", "//dept//treatment//bill"} {
+		want, err := plain.QueryCtx(context.Background(), "nurse", params, doc, q)
+		if err != nil {
+			t.Fatalf("plain %q: %v", q, err)
+		}
+		got, err := idx.QueryCtx(context.Background(), "nurse", params, doc, q)
+		if err != nil {
+			t.Fatalf("indexed %q: %v", q, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: indexed %d nodes, plain %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q: node %d differs", q, i)
+			}
+		}
+	}
+	c, _ := idx.Class("nurse")
+	e, err := c.Engine(params)
+	if err != nil {
+		t.Fatalf("Engine: %v", err)
+	}
+	s := e.Stats()
+	if s.IndexedEvals == 0 {
+		t.Errorf("registry engine recorded no indexed evals: %+v", s)
+	}
+	if s.IndexCache.Entries == 0 {
+		t.Errorf("index cache empty after descendant queries: %+v", s.IndexCache)
 	}
 }

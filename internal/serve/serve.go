@@ -158,6 +158,7 @@ type Server struct {
 	engineMisses atomic.Uint64
 	evalSeq      atomic.Uint64
 	evalPar      atomic.Uint64
+	evalIdx      atomic.Uint64
 	slowQueries  atomic.Uint64
 	explains     atomic.Uint64
 
@@ -244,6 +245,7 @@ func (s *Server) registerMetrics() {
 	const modeHelp = "Completed pipelines by the eval mode actually taken."
 	m.CounterFunc("sv_eval_total", modeHelp, s.evalSeq.Load, obs.L("mode", obs.ModeSequential))
 	m.CounterFunc("sv_eval_total", modeHelp, s.evalPar.Load, obs.L("mode", obs.ModeParallel))
+	m.CounterFunc("sv_eval_total", modeHelp, s.evalIdx.Load, obs.L("mode", obs.ModeIndexed))
 	const traceHelp = "Traces started and kept by the sampler (explain traces included)."
 	m.CounterFunc("sv_traces_total", traceHelp, func() uint64 { st, _ := s.tracer.Stats(); return st }, obs.L("state", "started"))
 	m.CounterFunc("sv_traces_total", traceHelp, func() uint64 { _, k := s.tracer.Stats(); return k }, obs.L("state", "kept"))
@@ -454,6 +456,8 @@ func (s *Server) observePipeline(qm *obs.QueryMetrics) {
 		s.evalPar.Add(1)
 	case obs.ModeSequential:
 		s.evalSeq.Add(1)
+	case obs.ModeIndexed:
+		s.evalIdx.Add(1)
 	}
 }
 
@@ -696,6 +700,7 @@ type PipelineStats struct {
 	EngineMisses    uint64                  `json:"engine_cache_misses"`
 	SequentialEvals uint64                  `json:"sequential_evals"`
 	ParallelEvals   uint64                  `json:"parallel_evals"`
+	IndexedEvals    uint64                  `json:"indexed_evals"`
 	Phases          map[string]LatencyStats `json:"phases"`
 }
 
@@ -753,6 +758,7 @@ func (s *Server) Stats() Statsz {
 				EngineMisses:    s.engineMisses.Load(),
 				SequentialEvals: s.evalSeq.Load(),
 				ParallelEvals:   s.evalPar.Load(),
+				IndexedEvals:    s.evalIdx.Load(),
 				Phases:          phases,
 			},
 		},

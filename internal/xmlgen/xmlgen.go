@@ -68,7 +68,11 @@ func Generate(d *dtd.DTD, cfg Config) *xmltree.Document {
 	}
 	root := xmltree.NewElement(d.Root())
 	g.fill(root, 0)
-	return xmltree.NewDocument(root)
+	// Nothing outside holds pointers into a freshly generated tree, so
+	// repack it into xmltree's flat arena for evaluation locality.
+	doc := xmltree.NewDocument(root)
+	doc.Compact()
+	return doc
 }
 
 type generator struct {

@@ -60,7 +60,11 @@ func Parse(r io.Reader) (*Document, error) {
 	if len(stack) != 0 {
 		return nil, fmt.Errorf("xmltree: unclosed elements")
 	}
-	return NewDocument(root), nil
+	// Freshly parsed trees have no outside references to their nodes, so
+	// repack into the flat arena before handing the document out.
+	doc := NewDocument(root)
+	doc.Compact()
+	return doc, nil
 }
 
 // ParseString parses an XML document held in a string.

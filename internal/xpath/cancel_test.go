@@ -158,3 +158,63 @@ func TestEvalDocParallelCtxCompletesUncancelled(t *testing.T) {
 		t.Errorf("context-carrying eval changed the answer: %d vs %d nodes", len(got), len(want))
 	}
 }
+
+// TestEvalIndexedCtxDeadlinePrompt: the indexed evaluator honors the
+// same cancellation-promptness contract as the walk evaluator — a
+// 1ms deadline cuts a multi-hundred-ms evaluation off within the
+// serving layer's 100ms promptness bound.
+func TestEvalIndexedCtxDeadlinePrompt(t *testing.T) {
+	doc := chainDoc(1500)
+	p := slowQuery(t)
+	idx := xpath.NewIndex(doc)
+
+	start := time.Now()
+	if _, err := xpath.EvalIndexedErr(p, idx); err != nil {
+		t.Fatalf("uncancelled indexed eval: %v", err)
+	}
+	full := time.Since(start)
+	if full < 5*time.Millisecond {
+		t.Skipf("document too fast to test cancellation meaningfully (%v)", full)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	_, err := xpath.EvalIndexedCtx(ctx, p, idx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	assertPrompt(t, elapsed)
+}
+
+func TestEvalIndexedCtxAlreadyCancelled(t *testing.T) {
+	doc := chainDoc(5)
+	idx := xpath.NewIndex(doc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := xpath.EvalIndexedCtx(ctx, xpath.MustParse("//leaf"), idx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled indexed eval returned %d nodes", len(res))
+	}
+}
+
+// TestEvalIndexedCtxCountedTicks: the counted form reports nonzero
+// cooperation ticks for real work, like EvalDocCtxCounted.
+func TestEvalIndexedCtxCountedTicks(t *testing.T) {
+	doc := chainDoc(200)
+	idx := xpath.NewIndex(doc)
+	out, ticks, err := xpath.EvalIndexedCtxCounted(context.Background(), xpath.MustParse("//leaf"), idx)
+	if err != nil {
+		t.Fatalf("EvalIndexedCtxCounted: %v", err)
+	}
+	if len(out) != 200 {
+		t.Fatalf("got %d leaves, want 200", len(out))
+	}
+	if ticks == 0 {
+		t.Fatalf("ticks = 0, want nonzero nodes-visited proxy")
+	}
+}

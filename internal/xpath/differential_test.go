@@ -246,3 +246,136 @@ e5 -> #PCDATA
 		}
 	}
 }
+
+// assertSameNodes fails unless got and want hold the same nodes in the
+// same order (nil and empty are equal — the evaluators differ on which
+// they produce for empty results).
+func assertSameNodes(t *testing.T, label string, got, want []*xmltree.Node) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d nodes, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: node %d differs (%s vs %s)", label, i, got[i].Path(), want[i].Path())
+		}
+	}
+}
+
+// TestDifferentialIndexedVsSequential sweeps ~200 randomized (DTD,
+// document, query) triples through the indexed evaluator, checking the
+// indexed ≡ sequential equivalence at the document root and at random
+// subcontexts. This is the suite that licenses serving traffic from the
+// label index: any divergence here is a policy-enforcement bug, not a
+// performance bug.
+func TestDifferentialIndexedVsSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(20260807))
+	triples := 0
+	for triples < 200 {
+		src := randomDTDSource(r)
+		d, err := dtd.Parse(src)
+		if err != nil {
+			t.Fatalf("random DTD does not parse: %v\n%s", err, src)
+		}
+		doc := xmlgen.Generate(d, xmlgen.Config{
+			Seed:      r.Int63(),
+			MinRepeat: 1,
+			MaxRepeat: 2 + r.Intn(3),
+			MaxDepth:  6,
+		})
+		if doc.Size() > 1500 {
+			continue // see TestDifferentialParallelVsSequential
+		}
+		idx := xpath.NewIndex(doc)
+		labels := append(d.Types(), xpath.TextName)
+		for q := 0; q < 5; q++ {
+			triples++
+			p := randPath(r, labels, 3)
+			want, seqErr := xpath.EvalDocErr(p, doc)
+			if seqErr != nil {
+				t.Fatalf("sequential eval error on %s: %v", xpath.String(p), seqErr)
+			}
+			got, err := xpath.EvalIndexedErr(p, idx)
+			if err != nil {
+				t.Fatalf("indexed eval error on %s: %v", xpath.String(p), err)
+			}
+			assertSortedUnique(t, "indexed "+xpath.String(p), got)
+			assertSameNodes(t, "indexed ≠ sequential on "+xpath.String(p)+"\nDTD:\n"+src, got, want)
+
+			// Subcontext leg: a random context set (possibly with
+			// duplicates and ancestor/descendant overlap) exercises the
+			// selectivity gate and the underContext interval filter.
+			all := doc.Nodes()
+			ctx := make([]*xmltree.Node, 1+r.Intn(4))
+			for i := range ctx {
+				ctx[i] = all[r.Intn(len(all))]
+			}
+			wantAt, err := xpath.EvalAtErr(p, ctx)
+			if err != nil {
+				t.Fatalf("sequential EvalAt error on %s: %v", xpath.String(p), err)
+			}
+			gotAt, err := xpath.EvalIndexedAtCtx(nil, p, idx, ctx)
+			if err != nil {
+				t.Fatalf("indexed EvalAt error on %s: %v", xpath.String(p), err)
+			}
+			assertSameNodes(t, "indexed@ctx ≠ sequential@ctx on "+xpath.String(p), gotAt, wantAt)
+		}
+	}
+}
+
+// TestDifferentialIndexedLargeDoc repeats the indexed ≡ sequential
+// check on a document big enough that the selectivity heuristic
+// actually chooses the posting-list path for whole-document descends.
+func TestDifferentialIndexedLargeDoc(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	src := `
+root e0
+e0 -> e1*
+e1 -> e2, e3*
+e2 -> e4*
+e3 -> e4, e5
+e4 -> e5*
+e5 -> #PCDATA
+`
+	d := dtd.MustParse(src)
+	doc := xmlgen.Generate(d, xmlgen.Config{Seed: 7, MinRepeat: 2, MaxRepeat: 9, MaxDepth: 10})
+	if doc.Size() < 1000 {
+		t.Fatalf("generated doc too small: %d nodes", doc.Size())
+	}
+	idx := xpath.NewIndex(doc)
+	labels := append(d.Types(), xpath.TextName)
+	for i := 0; i < 25; i++ {
+		p := randPath(r, labels, 2)
+		want, err := xpath.EvalDocErr(p, doc)
+		if err != nil {
+			t.Fatalf("sequential: %v", err)
+		}
+		got, err := xpath.EvalIndexedErr(p, idx)
+		if err != nil {
+			t.Fatalf("indexed: %v", err)
+		}
+		assertSameNodes(t, "large-doc indexed on "+xpath.String(p), got, want)
+	}
+	// The canonical deep-descendant shapes, pinned explicitly.
+	for _, q := range []string{"//e1//e4//e5", "//e1//e5/text()", "//e1[.//e4]//e5", "//e0//e1//e3//e5"} {
+		p := xpath.MustParse(q)
+		assertSameNodes(t, q, xpath.EvalIndexed(p, idx), xpath.EvalDoc(p, doc))
+	}
+}
+
+// TestEvalIndexedRejectsUnboundVars: the indexed evaluator shares the
+// sequential evaluator's unbound-$variable contract.
+func TestEvalIndexedRejectsUnboundVars(t *testing.T) {
+	doc := xmlgen.Generate(dtd.MustParse("root e0\ne0 -> #PCDATA\n"), xmlgen.Config{Seed: 1})
+	idx := xpath.NewIndex(doc)
+	p := xpath.Qualified{Sub: xpath.Self{}, Cond: xpath.QEq{Path: xpath.Self{}, Var: "w"}}
+	if _, err := xpath.EvalIndexedErr(p, idx); err == nil {
+		t.Fatalf("unbound variable accepted by EvalIndexedErr")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("EvalIndexed did not panic on unbound variable")
+		}
+	}()
+	xpath.EvalIndexed(p, idx)
+}

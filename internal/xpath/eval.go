@@ -169,6 +169,24 @@ func (e *seqEval) cancelled() error {
 	return pollCtx(e.ctx, e.deadline, e.timed)
 }
 
+// tickN advances the poll counter by n at once — the bulk form of tick
+// for interval fast paths that take whole subtrees per operation instead
+// of visiting nodes one by one. It polls the context iff the jump
+// crossed a poll boundary, preserving tick's at-least-once-per-128-ticks
+// cancellation granularity and keeping the ticks count an honest
+// nodes-visited proxy.
+func (e *seqEval) tickN(n int) error {
+	if e.ctx == nil || n <= 0 {
+		return nil
+	}
+	old := e.ticks
+	e.ticks += uint(n)
+	if old>>7 == e.ticks>>7 {
+		return nil
+	}
+	return e.cancelled()
+}
+
 func (e *seqEval) path(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 	if len(ctx) == 0 {
 		return nil, nil
@@ -255,7 +273,39 @@ func (e *seqEval) path(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 // descendantOrSelf collects the context nodes and all their descendants
 // in document order without duplicates, polling for cancellation as it
 // walks.
+//
+// On renumbered documents it is interval arithmetic, not a walk: each
+// node's subtree is the contiguous byOrd range [ord, ord+desc], so a
+// single context node's descendant-or-self set IS Subtree() — a shared
+// subslice of the document's node table, returned with zero copying —
+// and a multi-node context concatenates the maximal (non-nested)
+// subtree intervals in document order. Subtree intervals are laminar
+// (nested or disjoint, never partially overlapping), so skipping any
+// context node whose ord lies inside the previous interval drops
+// exactly the covered duplicates. Callers never mutate context slices
+// (path's Self case copies), which is what makes sharing byOrd safe.
 func (e *seqEval) descendantOrSelf(ctx []*xmltree.Node) ([]*xmltree.Node, error) {
+	if len(ctx) == 1 {
+		if sub := ctx[0].Subtree(); sub != nil {
+			return sub, e.tickN(len(sub))
+		}
+	}
+	if sorted, ok := subtreeIntervals(ctx); ok {
+		var dos []*xmltree.Node
+		limit := -1
+		for _, v := range sorted {
+			if v.Ord() <= limit {
+				continue // nested inside the previous interval
+			}
+			sub := v.Subtree()
+			if err := e.tickN(len(sub)); err != nil {
+				return nil, err
+			}
+			dos = append(dos, sub...)
+			limit = v.Ord() + v.DescendantCount()
+		}
+		return dos, nil
+	}
 	var walkErr error
 	var dos []*xmltree.Node
 	seen := make(map[*xmltree.Node]bool)
@@ -278,11 +328,25 @@ func (e *seqEval) descendantOrSelf(ctx []*xmltree.Node) ([]*xmltree.Node, error)
 	return xmltree.SortDocOrder(dos), nil
 }
 
-// descendantOrSelf is the context-free form used where cancellation is
-// handled by the caller (the parallel evaluator's partition step).
-func descendantOrSelf(ctx []*xmltree.Node) []*xmltree.Node {
-	dos, _ := (&seqEval{}).descendantOrSelf(ctx)
-	return dos
+// subtreeIntervals prepares a context for interval-based descendant
+// collection: every node must carry fresh numbering from the same
+// document (Owner non-nil and shared). It returns a sorted,
+// deduplicated copy of the context, or ok=false to demand the walk
+// fallback.
+func subtreeIntervals(ctx []*xmltree.Node) ([]*xmltree.Node, bool) {
+	if len(ctx) == 0 {
+		return nil, false
+	}
+	d := ctx[0].Owner()
+	if d == nil {
+		return nil, false
+	}
+	for _, v := range ctx[1:] {
+		if v.Owner() != d {
+			return nil, false
+		}
+	}
+	return xmltree.SortDocOrder(append([]*xmltree.Node(nil), ctx...)), true
 }
 
 // EvalQual evaluates a qualifier at a context node (the paper's "[q]

@@ -1,6 +1,8 @@
 package xpath
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/xmltree"
@@ -17,9 +19,17 @@ type Index struct {
 	byLabel map[string][]*xmltree.Node
 }
 
-// NewIndex builds the label index in one walk.
+// NewIndex builds the label index in one pass. Renumbered documents are
+// indexed straight off their node table (already in document order);
+// trees without one fall back to a walk.
 func NewIndex(doc *xmltree.Document) *Index {
 	idx := &Index{doc: doc, byLabel: make(map[string][]*xmltree.Node)}
+	if nodes := doc.Nodes(); nodes != nil {
+		for _, n := range nodes {
+			idx.byLabel[n.Label] = append(idx.byLabel[n.Label], n)
+		}
+		return idx
+	}
 	doc.Root.Walk(func(n *xmltree.Node) bool {
 		idx.byLabel[n.Label] = append(idx.byLabel[n.Label], n)
 		return true
@@ -37,30 +47,92 @@ func (idx *Index) Labeled(label string) []*xmltree.Node {
 }
 
 // EvalIndexed evaluates a query at the document root using the index.
-// Results are identical to EvalDoc.
+// Results are identical to EvalDoc. It panics on unbound $variables;
+// untrusted queries should go through EvalIndexedErr.
 func EvalIndexed(p Path, idx *Index) []*xmltree.Node {
-	return EvalIndexedAt(p, idx, []*xmltree.Node{idx.doc.Root})
+	out, err := EvalIndexedErr(p, idx)
+	if err != nil {
+		panic("xpath: " + err.Error())
+	}
+	return out
 }
 
-// EvalIndexedAt evaluates at a set of context nodes using the index.
+// EvalIndexedErr is EvalIndexed returning an error instead of panicking
+// on unbound $variables or malformed AST nodes — the same contract as
+// EvalDocErr.
+func EvalIndexedErr(p Path, idx *Index) ([]*xmltree.Node, error) {
+	return EvalIndexedCtx(nil, p, idx)
+}
+
+// EvalIndexedCtx is EvalIndexedErr honoring a context: evaluation polls
+// for cancellation cooperatively — at every path step and periodically
+// inside posting-list scans, descendant walks, and qualifier-filter
+// loops — and returns ctx.Err() once the context is done, exactly like
+// EvalDocCtx. A nil context disables the checks.
+func EvalIndexedCtx(ctx context.Context, p Path, idx *Index) ([]*xmltree.Node, error) {
+	return EvalIndexedAtCtx(ctx, p, idx, []*xmltree.Node{idx.doc.Root})
+}
+
+// EvalIndexedCtxCounted is EvalIndexedCtx additionally reporting the
+// evaluation's cooperation ticks as a nodes-visited proxy, mirroring
+// EvalDocCtxCounted. The count is maintained only when ctx is non-nil.
+func EvalIndexedCtxCounted(ctx context.Context, p Path, idx *Index) ([]*xmltree.Node, uint64, error) {
+	e := indexedEvaluator{idx: idx, se: newSeqEval(ctx)}
+	if err := e.se.cancelled(); err != nil {
+		return nil, 0, err
+	}
+	out, err := e.eval(p, []*xmltree.Node{idx.doc.Root})
+	if err != nil {
+		return nil, uint64(e.se.ticks), err
+	}
+	return xmltree.SortDocOrder(out), uint64(e.se.ticks), nil
+}
+
+// EvalIndexedAt evaluates at a set of context nodes using the index. It
+// panics on unbound $variables; see EvalIndexedAtCtx.
 func EvalIndexedAt(p Path, idx *Index, ctx []*xmltree.Node) []*xmltree.Node {
-	e := indexedEvaluator{idx: idx}
-	return xmltree.SortDocOrder(e.eval(p, ctx))
+	out, err := EvalIndexedAtCtx(nil, p, idx, ctx)
+	if err != nil {
+		panic("xpath: " + err.Error())
+	}
+	return out
 }
 
+// EvalIndexedAtCtx is the context-honoring, error-returning form of
+// EvalIndexedAt; see EvalIndexedCtx.
+func EvalIndexedAtCtx(goCtx context.Context, p Path, idx *Index, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
+	e := indexedEvaluator{idx: idx, se: newSeqEval(goCtx)}
+	if err := e.se.cancelled(); err != nil {
+		return nil, err
+	}
+	out, err := e.eval(p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return xmltree.SortDocOrder(out), nil
+}
+
+// indexedEvaluator evaluates with the label index, sharing the
+// sequential evaluator's cancellation/tick machinery (se) so indexed
+// evaluation honors the same deadline-promptness and nodes-visited
+// contracts as the walk evaluator.
 type indexedEvaluator struct {
 	idx *Index
+	se  *seqEval
 }
 
-func (e indexedEvaluator) eval(p Path, ctx []*xmltree.Node) []*xmltree.Node {
+func (e indexedEvaluator) eval(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 	if len(ctx) == 0 {
-		return nil
+		return nil, nil
+	}
+	if err := e.se.tick(); err != nil {
+		return nil, err
 	}
 	switch p := p.(type) {
 	case Empty:
-		return nil
+		return nil, nil
 	case Self:
-		return append([]*xmltree.Node(nil), ctx...)
+		return append([]*xmltree.Node(nil), ctx...), nil
 	case Label:
 		var out []*xmltree.Node
 		for _, v := range ctx {
@@ -70,7 +142,7 @@ func (e indexedEvaluator) eval(p Path, ctx []*xmltree.Node) []*xmltree.Node {
 				}
 			}
 		}
-		return out
+		return out, nil
 	case Wildcard:
 		var out []*xmltree.Node
 		for _, v := range ctx {
@@ -80,43 +152,59 @@ func (e indexedEvaluator) eval(p Path, ctx []*xmltree.Node) []*xmltree.Node {
 				}
 			}
 		}
-		return out
+		return out, nil
 	case Seq:
-		mid := xmltree.SortDocOrder(e.eval(p.Left, ctx))
-		return e.eval(p.Right, mid)
+		mid, err := e.eval(p.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return e.eval(p.Right, xmltree.SortDocOrder(mid))
 	case Descend:
 		// The index shortcut: //l and //l[...] pull the label's posting
 		// list and keep entries with an ancestor-or-self in the context.
-		if hit, ok := e.descendViaIndex(p.Sub, ctx); ok {
-			return hit
+		hit, ok, err := e.descendViaIndex(p.Sub, ctx)
+		if err != nil {
+			return nil, err
 		}
-		var dos []*xmltree.Node
-		seen := make(map[*xmltree.Node]bool)
-		for _, v := range ctx {
-			v.Walk(func(n *xmltree.Node) bool {
-				if seen[n] {
-					return false
-				}
-				seen[n] = true
-				dos = append(dos, n)
-				return true
-			})
+		if ok {
+			return hit, nil
 		}
-		dos = xmltree.SortDocOrder(dos)
+		dos, err := e.se.descendantOrSelf(ctx)
+		if err != nil {
+			return nil, err
+		}
 		return e.eval(p.Sub, dos)
 	case Union:
-		return append(e.eval(p.Left, ctx), e.eval(p.Right, ctx)...)
+		left, err := e.eval(p.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.eval(p.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return xmltree.SortDocOrder(append(left, right...)), nil
 	case Qualified:
-		mid := xmltree.SortDocOrder(e.eval(p.Sub, ctx))
+		mid, err := e.eval(p.Sub, ctx)
+		if err != nil {
+			return nil, err
+		}
 		var out []*xmltree.Node
-		for _, v := range mid {
-			if e.evalQual(p.Cond, v) {
+		for _, v := range xmltree.SortDocOrder(mid) {
+			if err := e.se.tick(); err != nil {
+				return nil, err
+			}
+			hold, err := e.evalQual(p.Cond, v)
+			if err != nil {
+				return nil, err
+			}
+			if hold {
 				out = append(out, v)
 			}
 		}
-		return out
+		return out, nil
 	default:
-		return nil
+		return nil, fmt.Errorf("evalPath: unknown path node %T", p)
 	}
 }
 
@@ -126,55 +214,65 @@ func (e indexedEvaluator) eval(p Path, ctx []*xmltree.Node) []*xmltree.Node {
 // when walking the context subtrees is estimated cheaper than scanning
 // the posting list (an index lookup inside a per-node qualifier would
 // otherwise scan a global list for every candidate node).
-func (e indexedEvaluator) descendViaIndex(sub Path, ctx []*xmltree.Node) ([]*xmltree.Node, bool) {
+func (e indexedEvaluator) descendViaIndex(sub Path, ctx []*xmltree.Node) ([]*xmltree.Node, bool, error) {
 	head, rest := splitHead(sub)
 	label, ok := head.(Label)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	candidates := e.idx.Labeled(label.Name)
 	if len(candidates) == 0 {
-		return nil, true
+		return nil, true, nil
 	}
-	// Selectivity heuristic: the walk visits every context-subtree node
+	// Selectivity heuristic: the walk visits every node under the context
 	// once; the index path scans the whole posting list. Prefer the walk
-	// when the subtrees are smaller.
-	subtree := 0
-	for _, v := range ctx {
-		subtree += v.DescendantCount() + 1
+	// when the context covers fewer nodes. Sizing must not double-count
+	// overlapping context nodes (an ancestor plus its descendant), so use
+	// CoverSize over the sorted, deduplicated set — the raw
+	// DescendantCount sum over-estimated exactly there and steered
+	// nested-qualifier evaluations onto full posting-list scans.
+	sorted := xmltree.SortDocOrder(append([]*xmltree.Node(nil), ctx...))
+	if xmltree.CoverSize(sorted) < len(candidates) {
+		return nil, false, nil
 	}
-	if subtree < len(candidates) {
-		return nil, false
+	matched, err := e.underContext(candidates, sorted)
+	if err != nil {
+		return nil, false, err
 	}
-	matched := e.underContext(candidates, ctx)
 	if rest == nil {
-		return matched, true
+		return matched, true, nil
 	}
-	return e.eval(rest, xmltree.SortDocOrder(matched)), true
+	// matched is a subsequence of the posting list: already in document
+	// order and duplicate-free, so no re-sort before the remaining steps.
+	out, err := e.eval(rest, matched)
+	return out, true, err
 }
 
 // underContext filters candidates whose parent lies at-or-under one of
 // the context nodes, using the contiguous ord ranges of subtrees:
-// contexts are sorted by ord, and a candidate parent belongs to the last
-// context starting at or before it iff that context's range covers it.
-func (e indexedEvaluator) underContext(candidates, ctx []*xmltree.Node) []*xmltree.Node {
+// contexts must arrive sorted in document order (SortDocOrder), and a
+// candidate parent belongs to the last context starting at or before it
+// iff that context's range covers it.
+func (e indexedEvaluator) underContext(candidates, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 	if len(ctx) == 1 && ctx[0] == e.idx.doc.Root {
 		// Whole-document queries: every candidate except the root itself
 		// has a parent under the root.
 		var out []*xmltree.Node
 		for _, c := range candidates {
+			if err := e.se.tick(); err != nil {
+				return nil, err
+			}
 			if c.Parent != nil {
 				out = append(out, c)
 			}
 		}
-		return out
+		return out, nil
 	}
-	sorted := xmltree.SortDocOrder(append([]*xmltree.Node(nil), ctx...))
 	// Coverage test via prefix maxima: some context covers ord iff among
 	// contexts starting at or before ord, the furthest-reaching subtree
 	// end reaches ord.
-	maxEnd := make([]int, len(sorted))
-	for i, v := range sorted {
+	maxEnd := make([]int, len(ctx))
+	for i, v := range ctx {
 		end := v.Ord() + v.DescendantCount()
 		if i > 0 && maxEnd[i-1] > end {
 			end = maxEnd[i-1]
@@ -183,16 +281,19 @@ func (e indexedEvaluator) underContext(candidates, ctx []*xmltree.Node) []*xmltr
 	}
 	var out []*xmltree.Node
 	for _, c := range candidates {
+		if err := e.se.tick(); err != nil {
+			return nil, err
+		}
 		if c.Parent == nil {
 			continue
 		}
 		ord := c.Parent.Ord()
-		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Ord() > ord }) - 1
+		i := sort.Search(len(ctx), func(i int) bool { return ctx[i].Ord() > ord }) - 1
 		if i >= 0 && maxEnd[i] >= ord {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // splitHead splits a path into its first step and the remainder (nil when
@@ -210,38 +311,52 @@ func splitHead(p Path) (Path, Path) {
 	return head, Seq{Left: mid, Right: seq.Right}
 }
 
-func (e indexedEvaluator) evalQual(q Qual, v *xmltree.Node) bool {
+func (e indexedEvaluator) evalQual(q Qual, v *xmltree.Node) (bool, error) {
 	switch q := q.(type) {
 	case QTrue:
-		return true
+		return true, nil
 	case QFalse:
-		return false
+		return false, nil
 	case QPath:
-		return len(e.eval(q.Path, []*xmltree.Node{v})) > 0
+		res, err := e.eval(q.Path, []*xmltree.Node{v})
+		return len(res) > 0, err
 	case QEq:
 		if q.Var != "" {
-			panic("xpath: unbound variable $" + q.Var + " in qualifier")
+			return false, fmt.Errorf("unbound variable $%s in qualifier", q.Var)
 		}
-		for _, n := range e.eval(q.Path, []*xmltree.Node{v}) {
+		res, err := e.eval(q.Path, []*xmltree.Node{v})
+		if err != nil {
+			return false, err
+		}
+		for _, n := range res {
 			if n.Text() == q.Value {
-				return true
+				return true, nil
 			}
 		}
-		return false
+		return false, nil
 	case QAttrEq:
 		val, ok := v.Attr(q.Name)
-		return ok && val == q.Value
+		return ok && val == q.Value, nil
 	case QAttrHas:
 		_, ok := v.Attr(q.Name)
-		return ok
+		return ok, nil
 	case QAnd:
-		return e.evalQual(q.Left, v) && e.evalQual(q.Right, v)
+		left, err := e.evalQual(q.Left, v)
+		if err != nil || !left {
+			return false, err
+		}
+		return e.evalQual(q.Right, v)
 	case QOr:
-		return e.evalQual(q.Left, v) || e.evalQual(q.Right, v)
+		left, err := e.evalQual(q.Left, v)
+		if err != nil || left {
+			return left, err
+		}
+		return e.evalQual(q.Right, v)
 	case QNot:
-		return !e.evalQual(q.Sub, v)
+		hold, err := e.evalQual(q.Sub, v)
+		return !hold && err == nil, err
 	default:
-		return false
+		return false, fmt.Errorf("EvalQual: unknown qualifier node %T", q)
 	}
 }
 

@@ -67,6 +67,17 @@ echo "netsmoke: open-loop svload over TCP (fixed 200 rps point)"
 "$WORK/bin/svload" -url "$BASE" -builtin fig7 -rates 200 -duration 500ms \
     -timeout 250ms -out /dev/null -q
 
+echo "netsmoke: large-document scenario (structural index serving path)"
+"$WORK/bin/svload" -builtin hospital-large -levels 4 -duration 500ms \
+    -timeout 250ms -out "$WORK/large.json" -q
+python3 - "$WORK/large.json" <<'EOF' || fail "hospital-large run did not serve from the label index"
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["doc_nodes"] >= 10000, f'doc only {r["doc_nodes"]} nodes'
+p = r["server_stats"]["pipeline"]
+assert p["indexed_evals"] > 0, p
+EOF
+
 echo "netsmoke: /explainz on a recursive query"
 curl -fsS --get "$BASE/explainz" \
     --data-urlencode "class=user" \
