@@ -295,6 +295,82 @@ func BenchmarkUnfold(b *testing.B) {
 	}
 }
 
+// ---------- Height sweep: height-free vs unfolding ----------
+
+// BenchmarkHeightSweep measures both recursive-view rewriting
+// treatments across document heights: rewrite time, plan node count
+// (reported as the plan-nodes metric), and evaluation time over a
+// document of each height. The unfold oracle's plans and rewrite times
+// grow with height; the height-free Rec-automaton plan is one constant
+// plan at every height.
+func BenchmarkHeightSweep(b *testing.B) {
+	view, err := secview.Derive(dtds.Fig7Spec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := xpath.MustParse("//b")
+	for _, height := range []int{4, 8, 16, 32} {
+		doc := xmlgen.Generate(dtds.Fig7(), xmlgen.Config{
+			Seed: int64(height), MinRepeat: 1, MaxRepeat: 2, MaxDepth: height, MaxNodes: 4000,
+		})
+		b.Run(fmt.Sprintf("h=%d/rewrite/height-free", height), func(b *testing.B) {
+			var pt xpath.Path
+			for i := 0; i < b.N; i++ {
+				r, err := rewrite.ForView(view)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pt, err = r.Rewrite(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(xpath.Size(pt)), "plan-nodes")
+		})
+		b.Run(fmt.Sprintf("h=%d/rewrite/unfold", height), func(b *testing.B) {
+			var pt xpath.Path
+			for i := 0; i < b.N; i++ {
+				r, err := rewrite.ForViewWithHeight(view, doc.Height())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pt, err = r.Rewrite(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(xpath.Size(pt)), "plan-nodes")
+		})
+		hf, err := rewrite.ForView(view)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ptHF, err := hf.Rewrite(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oracle, err := rewrite.ForViewWithHeight(view, doc.Height())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ptOr, err := oracle.Rewrite(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hfN, orN := len(xpath.EvalDoc(ptHF, doc)), len(xpath.EvalDoc(ptOr, doc)); hfN != orN {
+			b.Fatalf("height %d: treatments disagree: height-free %d nodes, unfold %d", height, hfN, orN)
+		}
+		b.Run(fmt.Sprintf("h=%d/eval/height-free", height), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				xpath.EvalDoc(ptHF, doc)
+			}
+		})
+		b.Run(fmt.Sprintf("h=%d/eval/unfold", height), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				xpath.EvalDoc(ptOr, doc)
+			}
+		})
+	}
+}
+
 // ---------- Ablation E: materialization vs rewriting ----------
 
 func BenchmarkMaterializeVsRewrite(b *testing.B) {

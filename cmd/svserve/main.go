@@ -80,6 +80,7 @@ func main() {
 		traceSample = flag.Int("trace-sample", 0, "keep a span tree for one request in N (0 = tracing off, 1 = every request)")
 		traceRing   = flag.Int("trace-ring", 0, "recent traces kept for /tracez (0 = default)")
 		slowQuery   = flag.Duration("slow-query", serve.DefaultSlowQuery, "log queries slower than this with per-phase timings (negative disables)")
+		unfold      = flag.Bool("unfold-rewrite", false, "rewrite recursive views by unfolding to each document height (Section 4.2 oracle) instead of the default height-free automata")
 		classes     classFlags
 	)
 	flag.Var(&classes, "class", "define a user class from an annotation file, e.g. -class nurse=nurse.ann (repeatable)")
@@ -93,6 +94,7 @@ func main() {
 		ParallelConfig: xpath.ParallelConfig{Workers: *workers, Threshold: *threshold},
 		Indexed:        *indexed,
 		IndexThreshold: *indexMin,
+		UnfoldRewrite:  *unfold,
 	}
 	reg, err := buildRegistry(*builtin, *dtdPath, classes, engineCfg)
 	if err != nil {

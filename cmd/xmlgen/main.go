@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"repro/internal/dtd"
@@ -22,16 +23,21 @@ import (
 func main() {
 	var (
 		dtdPath   = flag.String("dtd", "", "DTD file (compact syntax)")
-		builtin   = flag.String("builtin", "", "use a built-in DTD: hospital, adex, or fig7")
+		builtin   = flag.String("builtin", "", "use a built-in DTD: hospital, adex, fig7, forum, or random-recursive")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		minRepeat = flag.Int("min-repeat", 0, "minimum repetitions for starred productions")
 		maxRepeat = flag.Int("max-repeat", 3, "maximum repetitions for starred productions (branching factor)")
 		maxDepth  = flag.Int("max-depth", 30, "depth at which recursive DTDs switch to minimal expansion")
+		maxNodes  = flag.Int("max-nodes", 0, "element budget after which generation switches to minimal expansion (0 = unlimited)")
+		recDepth  = flag.Int("rec-depth", 0, "layer count for -builtin random-recursive (0 = default)")
+		recBranch = flag.Int("rec-branching", 0, "extra-edge bound for -builtin random-recursive (0 = default)")
+		printDTD  = flag.Bool("print-dtd", false, "print the (possibly generated) DTD to stderr")
 		stats     = flag.Bool("stats", false, "print document statistics to stderr")
 	)
 	flag.Parse()
 
 	var d *dtd.DTD
+	var dtdSource string
 	switch *builtin {
 	case "hospital":
 		d = dtds.Hospital()
@@ -39,6 +45,14 @@ func main() {
 		d = dtds.Adex()
 	case "fig7":
 		d = dtds.Fig7()
+	case "forum":
+		d = dtds.Forum()
+	case "random-recursive":
+		// The DTD shape is drawn from the same seed that drives document
+		// generation, so one seed pins the whole artifact.
+		dtdSource = dtds.RandomRecursiveDTDSource(rand.New(rand.NewSource(*seed)),
+			dtds.RecursiveGen{Depth: *recDepth, Branching: *recBranch})
+		d = dtd.MustParse(dtdSource)
 	case "":
 		if *dtdPath == "" {
 			fatal(fmt.Errorf("need -dtd or -builtin"))
@@ -61,9 +75,16 @@ func main() {
 		MinRepeat: *minRepeat,
 		MaxRepeat: *maxRepeat,
 		MaxDepth:  *maxDepth,
+		MaxNodes:  *maxNodes,
 	})
 	if err := xmltree.Validate(doc, d); err != nil {
 		fatal(fmt.Errorf("internal error: generated document does not conform: %v", err))
+	}
+	if *printDTD {
+		if dtdSource == "" {
+			dtdSource = d.String()
+		}
+		fmt.Fprint(os.Stderr, dtdSource)
 	}
 	if *stats {
 		s := doc.ComputeStats()

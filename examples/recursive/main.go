@@ -1,7 +1,10 @@
 // Recursive views (Section 4.2 / Fig. 7): the document DTD nests a's
 // through a hidden c layer, the derived view DTD is recursive (a -> b,
-// a*), and '//' queries are rewritten by unfolding the view to the height
-// of the concrete document.
+// a*), and '//' queries are rewritten height-free into a Rec automaton
+// valid for documents of any height. The paper's Section 4.2 treatment —
+// unfolding the view DTD to the concrete document height — is kept
+// behind EngineConfig.UnfoldRewrite as a differential oracle, and this
+// example runs both to show they agree.
 //
 //	go run ./examples/recursive
 package main
@@ -39,6 +42,7 @@ func main() {
 	fmt.Println("\n== derived view DTD (recursive; c is gone) ==")
 	fmt.Print(engine.ViewDTD())
 	fmt.Printf("view recursive: %v\n", engine.View().IsRecursive())
+	fmt.Printf("rewrite mode: %s\n", engine.RewriteMode())
 
 	doc, err := securexml.ParseDocumentString(tree)
 	if err != nil {
@@ -47,11 +51,10 @@ func main() {
 	if err := securexml.Validate(doc, dtds.Fig7()); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("document height: %d (drives the unfolding depth)\n", doc.Height())
 
 	// //b over the recursive view: not expressible as a single XPath over
 	// the document in general (it would need (c/a)*/b), so the rewriter
-	// unfolds the view DTD to the document height first.
+	// emits a Rec automaton — one plan, any height.
 	p, err := securexml.ParseQuery("//b")
 	if err != nil {
 		log.Fatal(err)
@@ -60,7 +63,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n//b rewritten over the document:\n  %s\n", securexml.QueryString(pt))
+	fmt.Printf("\n//b rewritten over the document (height-free):\n  %s\n", securexml.QueryString(pt))
+
+	// The Section 4.2 oracle unfolds the view DTD to the document height;
+	// its plan grows with the document, the automaton's does not.
+	oracle, err := securexml.NewEngineWithConfig(dtds.Fig7Spec(), securexml.EngineConfig{UnfoldRewrite: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ptU, err := oracle.Rewrite(p, doc.Height())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n//b rewritten by the unfold oracle (height %d):\n  %s\n",
+		doc.Height(), securexml.QueryString(ptU))
 
 	nodes, err := engine.QueryString(doc, "//b")
 	if err != nil {
@@ -70,6 +86,12 @@ func main() {
 	for _, n := range nodes {
 		fmt.Printf("  %s\n", n.Text())
 	}
+	oracleNodes, err := oracle.QueryString(doc, "//b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unfold oracle agrees: %v (%d nodes each)\n",
+		len(nodes) == len(oracleNodes), len(nodes))
 
 	// Deeper view steps: the second view level is the second *a* level of
 	// the document, reached through the hidden c spine.

@@ -7,12 +7,15 @@
 // xpath) — the view itself is never materialized on the query path.
 //
 // On top of the paper's pipeline the engine adds a serving layer:
-// rewritten-and-optimized plans are kept in a bounded LRU plan cache
-// keyed by (query text, height class), so repeated queries skip the
-// rewrite and optimize stages entirely; recursive views' per-height
-// rewriters live in a second bounded cache so adversarial height
-// profiles cannot grow memory without limit; and evaluation can fan out
-// over a worker pool for large documents (Config.Parallel).
+// rewritten-and-optimized plans are kept in a bounded LRU plan cache, so
+// repeated queries skip the rewrite and optimize stages entirely;
+// recursive views rewrite height-free by default (one plan per query,
+// valid for documents of any height — see package rewrite), with the
+// Section 4.2 unfolding path available behind Config.UnfoldRewrite as a
+// differential oracle, whose per-height rewriters live in a second
+// bounded cache so adversarial height profiles cannot grow memory
+// without limit; and evaluation can fan out over a worker pool for large
+// documents (Config.Parallel).
 package core
 
 import (
@@ -20,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -85,6 +89,12 @@ type Config struct {
 	// IndexCacheCapacity bounds the per-document index cache. 0 means
 	// DefaultIndexCacheCapacity.
 	IndexCacheCapacity int
+	// UnfoldRewrite selects the Section 4.2 unfolding path for recursive
+	// views instead of the default height-free rewriting: plans are then
+	// built per document height class and cached per (query, height).
+	// Kept as the differential oracle for the height-free path; flat
+	// (non-recursive) views ignore it.
+	UnfoldRewrite bool
 }
 
 func (c Config) planCap() int {
@@ -129,9 +139,11 @@ type Engine struct {
 	opt  *optimize.Optimizer
 	cfg  Config
 
-	// flat is the rewriter for non-recursive views; recursive views get
-	// per-height rewriters built on demand (Section 4.2) and kept in the
-	// bounded byHeight cache.
+	// flat is the height-independent rewriter: every non-recursive view
+	// has one, and recursive views get a height-free one unless
+	// Config.UnfoldRewrite asked for the Section 4.2 oracle path. When
+	// nil (unfold mode), per-height rewriters are built on demand and
+	// kept in the bounded byHeight cache.
 	flat     *rewrite.Rewriter
 	byHeight *plancache.Cache[*rewrite.Rewriter]
 
@@ -187,7 +199,7 @@ func FromViewConfig(view *secview.View, cfg Config) (*Engine, error) {
 		plans:    plancache.New[*Prepared](cfg.planCap()),
 		indexes:  plancache.New[*xpath.Index](cfg.indexCap()),
 	}
-	if !view.IsRecursive() {
+	if !view.IsRecursive() || !cfg.UnfoldRewrite {
 		r, err := rewrite.ForView(view)
 		if err != nil {
 			return nil, err
@@ -210,12 +222,23 @@ func (e *Engine) DocumentDTD() *dtd.DTD { return e.spec.D }
 // Spec returns the bound access specification.
 func (e *Engine) Spec() *access.Spec { return e.spec }
 
-// Rewriter returns the query rewriter for documents of the given height
-// (the height only matters for recursive views, which are unfolded to
-// it; any height works for non-recursive views). Per-height rewriters
-// are cached with LRU eviction, so an adversarial stream of documents
-// with many distinct heights costs repeated unfolds, never unbounded
-// memory.
+// RewriteMode names the engine's rewriting strategy: "flat" for a
+// non-recursive view, "height-free" for a recursive view rewritten via
+// Rec automata (the default), and "unfold" for the Section 4.2 oracle
+// path (Config.UnfoldRewrite). Surfaced in /explainz and /metricsz.
+func (e *Engine) RewriteMode() string {
+	if e.flat != nil {
+		return e.flat.Mode()
+	}
+	return "unfold"
+}
+
+// Rewriter returns the query rewriter for documents of the given height.
+// The height is ignored except in unfold-oracle mode (Config.UnfoldRewrite
+// on a recursive view), where the view is unfolded to it per Section 4.2;
+// those per-height rewriters are cached with LRU eviction, so an
+// adversarial stream of documents with many distinct heights costs
+// repeated unfolds, never unbounded memory.
 func (e *Engine) Rewriter(height int) (*rewrite.Rewriter, error) {
 	if e.flat != nil {
 		return e.flat, nil
@@ -248,9 +271,11 @@ func (e *Engine) Optimize(p xpath.Path) xpath.Path {
 	return e.opt.Optimize(p)
 }
 
-// heightClass maps a document height to the plan-cache key component:
-// non-recursive views rewrite identically for every height, so all
-// documents share one class; recursive views need one plan per height.
+// heightClass maps a document height to the plan-cache key component.
+// With a height-independent rewriter (flat views, and recursive views in
+// the default height-free mode) every document shares one class — one
+// cache entry per query text; only the unfold oracle needs one plan per
+// height.
 func (e *Engine) heightClass(height int) int {
 	if e.flat != nil {
 		return 0
@@ -491,11 +516,13 @@ type Explain struct {
 	Partitions   uint64 `json:"partitions,omitempty"`
 	ResultCount  int    `json:"result_count"`
 	// DocHeight is the document's height; UnfoldHeight is the height a
-	// recursive view was unfolded to for this document (0 for flat
-	// views); RecursiveView flags the view DTD as recursive.
-	DocHeight     int  `json:"doc_height"`
-	UnfoldHeight  int  `json:"unfold_height,omitempty"`
-	RecursiveView bool `json:"recursive_view"`
+	// recursive view was unfolded to for this document (0 outside
+	// unfold-oracle mode); RecursiveView flags the view DTD as recursive;
+	// RewriteMode is the engine's rewriting strategy (Engine.RewriteMode).
+	DocHeight     int    `json:"doc_height"`
+	UnfoldHeight  int    `json:"unfold_height,omitempty"`
+	RecursiveView bool   `json:"recursive_view"`
+	RewriteMode   string `json:"rewrite_mode"`
 	// PlanWasCached reports whether the serving path would have hit the
 	// plan cache for this query (explain re-measures regardless, and
 	// re-caches its fresh plan).
@@ -517,6 +544,7 @@ func (e *Engine) ExplainCtx(ctx context.Context, doc *xmltree.Document, p xpath.
 		Query:         xpath.String(p),
 		DocHeight:     height,
 		RecursiveView: e.view.IsRecursive(),
+		RewriteMode:   e.RewriteMode(),
 	}
 	key := strconv.Itoa(e.heightClass(height)) + "\x00" + ex.Query
 	_, ex.PlanWasCached = e.plans.Get(key)
@@ -577,6 +605,19 @@ type Stats struct {
 	Cancelled uint64 `json:"cancelled"`
 	// PlanCache reports the (query, height class) → plan cache.
 	PlanCache plancache.Stats `json:"plan_cache"`
+	// PlanCacheQueries counts the distinct query texts in the plan cache
+	// and PlanCacheHeightClasses the distinct height classes; Entries in
+	// PlanCache counts (query, height class) pairs. A height-independent
+	// rewriter keeps exactly one class, so Queries == Entries; the unfold
+	// oracle holds one entry per (query, height), which these two fields
+	// stopped conflating.
+	PlanCacheQueries       int `json:"plan_cache_queries"`
+	PlanCacheHeightClasses int `json:"plan_cache_height_classes"`
+	// PlanCacheNodes sums the AST size of every cached optimized plan —
+	// the memory-side view of the height-free win: with the unfold
+	// oracle it grows with both the number of height classes and the
+	// per-plan unfolding depth; height-free it tracks query count only.
+	PlanCacheNodes int `json:"plan_cache_nodes"`
 	// HeightCache reports the per-height rewriter cache (recursive
 	// views only; empty for flat views).
 	HeightCache plancache.Stats `json:"height_cache"`
@@ -602,20 +643,43 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	seq, par, forks, parts := e.evalStats.Snapshot()
 	rules, pruned := e.opt.Stats()
+	queries, classes, nodes := e.planCacheBreakdown()
 	return Stats{
-		Queries:         e.queries.Load(),
-		Cancelled:       e.cancelled.Load(),
-		PlanCache:       e.plans.Stats(),
-		HeightCache:     e.byHeight.Stats(),
-		IndexCache:      e.indexes.Stats(),
-		SequentialEvals: seq,
-		ParallelEvals:   par,
-		IndexedEvals:    e.indexedEvals.Load(),
-		UnionForks:      forks,
-		Partitions:      parts,
-		OptimizeRules:   rules,
-		OptimizePruned:  pruned,
+		Queries:                e.queries.Load(),
+		Cancelled:              e.cancelled.Load(),
+		PlanCache:              e.plans.Stats(),
+		PlanCacheQueries:       queries,
+		PlanCacheHeightClasses: classes,
+		PlanCacheNodes:         nodes,
+		HeightCache:            e.byHeight.Stats(),
+		IndexCache:             e.indexes.Stats(),
+		SequentialEvals:        seq,
+		ParallelEvals:          par,
+		IndexedEvals:           e.indexedEvals.Load(),
+		UnionForks:             forks,
+		Partitions:             parts,
+		OptimizeRules:          rules,
+		OptimizePruned:         pruned,
 	}
+}
+
+// planCacheBreakdown walks the plan cache and counts distinct query
+// texts, distinct height classes, and total optimized-plan AST nodes
+// across its entries. Point-in-time like the rest of Stats: concurrent
+// Puts/evictions may be missed.
+func (e *Engine) planCacheBreakdown() (queries, classes, nodes int) {
+	qs := make(map[string]bool)
+	cs := make(map[string]bool)
+	e.plans.Each(func(key string, prep *Prepared) {
+		class, text, ok := strings.Cut(key, "\x00")
+		if !ok {
+			return
+		}
+		qs[text] = true
+		cs[class] = true
+		nodes += xpath.Size(prep.Optimized)
+	})
+	return len(qs), len(cs), nodes
 }
 
 // Prepared is a view query rewritten and optimized once, reusable across
@@ -633,12 +697,12 @@ type Prepared struct {
 
 // Prepare rewrites and optimizes a view query once, so frontends can
 // amortize translation across many documents and evaluations. It is
-// only available for non-recursive views (a recursive view's rewriting
-// depends on each document's height; use Engine.Query, which caches per
-// height class).
+// available whenever rewriting is height-independent — always, except
+// for a recursive view in unfold-oracle mode (Config.UnfoldRewrite),
+// whose plans depend on each document's height; use Engine.Query then.
 func (e *Engine) Prepare(p xpath.Path) (*Prepared, error) {
 	if e.flat == nil {
-		return nil, fmt.Errorf("core: Prepare needs a non-recursive view; use Rewrite with the document height")
+		return nil, fmt.Errorf("core: Prepare needs a height-independent rewriter; the unfold oracle (Config.UnfoldRewrite) plans per document height — use Query, or Rewrite with the height")
 	}
 	return e.prepared(context.Background(), p, 0)
 }

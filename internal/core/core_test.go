@@ -94,10 +94,34 @@ func TestEngineOptimizeEquivalence(t *testing.T) {
 	}
 }
 
-func TestEngineRecursiveRewriterCache(t *testing.T) {
+func TestEngineRecursiveRewriterHeightFree(t *testing.T) {
 	e, err := New(dtds.Fig7Spec())
 	if err != nil {
 		t.Fatalf("New: %v", err)
+	}
+	if got := e.RewriteMode(); got != "height-free" {
+		t.Errorf("RewriteMode = %q, want height-free", got)
+	}
+	r1, err := e.Rewriter(5)
+	if err != nil {
+		t.Fatalf("Rewriter(5): %v", err)
+	}
+	r3, err := e.Rewriter(9)
+	if err != nil {
+		t.Fatalf("Rewriter(9): %v", err)
+	}
+	if r1 != r3 {
+		t.Errorf("height-free mode built per-height rewriters")
+	}
+}
+
+func TestEngineRecursiveRewriterCacheUnfold(t *testing.T) {
+	e, err := NewWithConfig(dtds.Fig7Spec(), Config{UnfoldRewrite: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := e.RewriteMode(); got != "unfold" {
+		t.Errorf("RewriteMode = %q, want unfold", got)
 	}
 	r1, err := e.Rewriter(5)
 	if err != nil {
@@ -178,13 +202,22 @@ func TestPreparedQueries(t *testing.T) {
 	}
 }
 
-func TestPrepareRejectsRecursiveView(t *testing.T) {
+func TestPrepareRecursiveView(t *testing.T) {
+	// Height-free mode (default) can prepare over a recursive view; the
+	// unfold oracle cannot — its plans depend on the document height.
 	e, err := New(dtds.Fig7Spec())
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if _, err := e.PrepareString("//b"); err == nil {
-		t.Errorf("recursive view prepared")
+	if _, err := e.PrepareString("//b"); err != nil {
+		t.Errorf("height-free Prepare: %v", err)
+	}
+	eo, err := NewWithConfig(dtds.Fig7Spec(), Config{UnfoldRewrite: true})
+	if err != nil {
+		t.Fatalf("New(unfold): %v", err)
+	}
+	if _, err := eo.PrepareString("//b"); err == nil {
+		t.Errorf("unfold-oracle engine prepared a recursive view")
 	}
 }
 

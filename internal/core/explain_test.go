@@ -28,9 +28,10 @@ func fig7Engine(t *testing.T) (*Engine, *xmltree.Document) {
 
 // TestExplainRecursive: an explain over the recursive Fig. 7 view must
 // report all three phases with measured (nonzero) durations, the
-// intermediate query strings, the eval mode, and the unfold height the
-// recursive rewrite used — even when the plan cache is already warm,
-// because the explain path re-times rewrite and optimize from scratch.
+// intermediate query strings, the eval mode, and the height-free rewrite
+// mode (with no unfold height) — even when the plan cache is already
+// warm, because the explain path re-times rewrite and optimize from
+// scratch.
 func TestExplainRecursive(t *testing.T) {
 	e, doc := fig7Engine(t)
 	const q = "//a//a/b"
@@ -55,8 +56,11 @@ func TestExplainRecursive(t *testing.T) {
 	if !ex.RecursiveView {
 		t.Error("fig7 view not reported recursive")
 	}
-	if ex.DocHeight <= 0 || ex.UnfoldHeight <= 0 {
-		t.Errorf("heights: doc=%d unfold=%d", ex.DocHeight, ex.UnfoldHeight)
+	if ex.DocHeight <= 0 || ex.UnfoldHeight != 0 {
+		t.Errorf("heights: doc=%d unfold=%d (height-free mode must not unfold)", ex.DocHeight, ex.UnfoldHeight)
+	}
+	if ex.RewriteMode != "height-free" {
+		t.Errorf("RewriteMode = %q, want height-free", ex.RewriteMode)
 	}
 	if ex.NodesVisited == 0 {
 		t.Error("sequential explain reported zero nodes visited")

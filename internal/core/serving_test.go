@@ -64,10 +64,11 @@ func TestPlanCacheHits(t *testing.T) {
 	}
 }
 
-// TestPlanCacheRecursiveHeightClasses: recursive views cache one plan
-// per (query, document height).
+// TestPlanCacheRecursiveHeightClasses: the unfold oracle caches one plan
+// per (query, document height); height-free mode collapses all heights
+// into one entry per query.
 func TestPlanCacheRecursiveHeightClasses(t *testing.T) {
-	e, err := New(dtds.Fig7Spec())
+	e, err := NewWithConfig(dtds.Fig7Spec(), Config{UnfoldRewrite: true})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -84,7 +85,44 @@ func TestPlanCacheRecursiveHeightClasses(t *testing.T) {
 	if s.PlanCache.Hits != 2 || s.PlanCache.Misses != 2 {
 		t.Errorf("hits/misses = %d/%d, want 2/2", s.PlanCache.Hits, s.PlanCache.Misses)
 	}
+	if s.PlanCacheQueries != 1 || s.PlanCacheHeightClasses != 2 {
+		t.Errorf("breakdown = %d queries / %d classes, want 1/2",
+			s.PlanCacheQueries, s.PlanCacheHeightClasses)
+	}
 	// The recursive answers must still be right: every b is visible.
+	got, err := e.QueryString(d5, "//b")
+	if err != nil {
+		t.Fatalf("QueryString: %v", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("//b over depth-2 doc = %d nodes, want 3", len(got))
+	}
+}
+
+// TestPlanCacheHeightFreeCollapsesClasses: the same workload in the
+// default height-free mode keeps one cache entry for both heights.
+func TestPlanCacheHeightFreeCollapsesClasses(t *testing.T) {
+	e, err := New(dtds.Fig7Spec())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d3, d5 := fig7Doc(1), fig7Doc(2)
+	for _, doc := range []*xmltree.Document{d3, d5, d3, d5} {
+		if _, err := e.QueryString(doc, "//b"); err != nil {
+			t.Fatalf("QueryString: %v", err)
+		}
+	}
+	s := e.Stats()
+	if s.PlanCache.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (height-free shares the plan)", s.PlanCache.Entries)
+	}
+	if s.PlanCache.Hits != 3 || s.PlanCache.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", s.PlanCache.Hits, s.PlanCache.Misses)
+	}
+	if s.PlanCacheQueries != 1 || s.PlanCacheHeightClasses != 1 {
+		t.Errorf("breakdown = %d queries / %d classes, want 1/1",
+			s.PlanCacheQueries, s.PlanCacheHeightClasses)
+	}
 	got, err := e.QueryString(d5, "//b")
 	if err != nil {
 		t.Fatalf("QueryString: %v", err)
@@ -98,7 +136,7 @@ func TestPlanCacheRecursiveHeightClasses(t *testing.T) {
 // of many distinct heights must not grow the per-height rewriter map
 // without bound.
 func TestByHeightCapRegression(t *testing.T) {
-	e, err := NewWithConfig(dtds.Fig7Spec(), Config{HeightCacheCapacity: 4})
+	e, err := NewWithConfig(dtds.Fig7Spec(), Config{HeightCacheCapacity: 4, UnfoldRewrite: true})
 	if err != nil {
 		t.Fatalf("NewWithConfig: %v", err)
 	}
@@ -184,7 +222,9 @@ func TestParallelEngineMatchesSequential(t *testing.T) {
 func TestConcurrentQueriesFlatAndRecursive(t *testing.T) {
 	flat := nurseEngine(t, "1")
 	flatDoc := dtds.GenerateHospital(7, 4)
-	rec, err := New(dtds.Fig7Spec())
+	// Unfold-oracle mode so the per-height rewriter cache is exercised
+	// under concurrency too (height-free mode never touches it).
+	rec, err := NewWithConfig(dtds.Fig7Spec(), Config{UnfoldRewrite: true})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

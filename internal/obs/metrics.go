@@ -71,10 +71,10 @@ func (k metricKind) String() string {
 // series is one labeled instance of a metric family.
 type series struct {
 	labels    []Label
-	counter   func() uint64            // kindCounter
-	gauge     func() float64           // kindGauge
-	histogram *Histogram               // kindHistogram
-	histSnap  func() latency.Snapshot  // kindHistogram via HistogramFunc
+	counter   func() uint64           // kindCounter
+	gauge     func() float64          // kindGauge
+	histogram *Histogram              // kindHistogram
+	histSnap  func() latency.Snapshot // kindHistogram via HistogramFunc
 }
 
 // family groups the series sharing one metric name (one HELP/TYPE

@@ -250,6 +250,13 @@ func (b *builder) build(p xpath.Path, a string) *inode {
 		n.frontier = true
 		n.quals = append(n.quals, qualAt{q: simplified, at: a})
 		return n
+	case xpath.Rec:
+		// A nil return means "provably empty", which simulate treats as
+		// contained in everything — unsound for an automaton the image
+		// abstraction cannot model. Overflow instead, which skips the
+		// containment test for this branch pair.
+		b.overflow = true
+		return nil
 	default:
 		return nil
 	}

@@ -239,6 +239,24 @@ func (o *Optimizer) compute(p xpath.Path, a string) result {
 			return res
 		}
 		return o.opt(xpath.Seq{Left: p.Sub, Right: xpath.Qualified{Sub: xpath.Self{}, Cond: p.Cond}}, a)
+	case xpath.Rec:
+		// Height-free rewrite of a recursive view region (package rewrite).
+		// The automaton is opaque to the optimizer, but its results are
+		// typed: every selected node carries ResultLabel. Keep the node,
+		// pruning it only when the DTD proves that label unreachable from
+		// the evaluation context (Reachable includes a itself, and every
+		// context a Rec is evaluated at carries its Start type's label by
+		// plan construction, so self-reach is covered).
+		if p.ResultLabel == xpath.TextName {
+			if o.textReachable(o.d.Reachable(a)) {
+				res.add(textNode, p)
+			}
+			return res
+		}
+		if o.d.Reachable(a)[p.ResultLabel] {
+			res.add(p.ResultLabel, p)
+		}
+		return res
 	default:
 		return res
 	}

@@ -182,8 +182,11 @@ func (c *Class) EngineCacheStats() plancache.Stats { return c.engines.Stats() }
 type BindingStats struct {
 	// Binding is the canonical parameter binding ("" for parameterless
 	// classes, "wardNo=6;" style otherwise).
-	Binding string     `json:"binding"`
-	Engine  core.Stats `json:"engine"`
+	Binding string `json:"binding"`
+	// RewriteMode is the engine's rewriting strategy ("flat",
+	// "height-free", or "unfold"; see core.Engine.RewriteMode).
+	RewriteMode string     `json:"rewrite_mode"`
+	Engine      core.Stats `json:"engine"`
 }
 
 // ClassStats is a registry-level rollup for one user class.
@@ -204,7 +207,11 @@ func (r *Registry) Stats() []ClassStats {
 		c := r.classes[name]
 		cs := ClassStats{Class: name, Engines: c.EngineCacheStats()}
 		c.engines.Each(func(key string, e *core.Engine) {
-			cs.Bindings = append(cs.Bindings, BindingStats{Binding: key, Engine: e.Stats()})
+			cs.Bindings = append(cs.Bindings, BindingStats{
+				Binding:     key,
+				RewriteMode: e.RewriteMode(),
+				Engine:      e.Stats(),
+			})
 		})
 		sort.Slice(cs.Bindings, func(i, j int) bool { return cs.Bindings[i].Binding < cs.Bindings[j].Binding })
 		out = append(out, cs)

@@ -14,10 +14,14 @@
 // sub-expressions keeps recrw(A, B) linear in |D_v| even when the DAG has
 // exponentially many paths.
 //
-// Recursive view DTDs cannot be rewritten directly ('//' would denote
-// infinitely many paths, beyond XPath); following Section 4.2 they are
-// unfolded to the height of the concrete document, which yields a DAG
-// view DTD the document is guaranteed to conform to.
+// Recursive view DTDs admit two treatments. Section 4.2 unfolds the view
+// DTD to the height of the concrete document, yielding a DAG the document
+// is guaranteed to conform to — but plan size and identity then depend on
+// document height (ForViewWithHeight keeps this path as a differential
+// oracle). The default is height-free: following Mahfoud–Imine's
+// standard-XPath-based technique, recursive '//' regions rewrite to a
+// single Rec automaton node over the view's σ transition system
+// (see recproc.go), so one plan per query serves documents of any height.
 package rewrite
 
 import (
@@ -50,6 +54,11 @@ type Rewriter struct {
 	// recProc results, computed lazily per source node.
 	recReach map[string][]string
 	recPaths map[string]map[string]xpath.Path
+
+	// recGraph is the view's σ transition system, built lazily the first
+	// time recProc meets a cyclic region (height-free mode only) and
+	// shared by pointer across all Rec nodes the rewriter emits.
+	recGraph *xpath.RecGraph
 
 	memo map[memoKey]result
 
@@ -107,12 +116,13 @@ func (r *result) add(target string, p xpath.Path) {
 	r.reach = append(r.reach, target)
 }
 
-// ForView builds a rewriter for a non-recursive security view. It fails
-// when the view DTD is recursive; use ForViewWithHeight then.
+// ForView builds a rewriter for a security view. Recursive view DTDs are
+// handled height-free: recursive '//' regions rewrite to Rec automaton
+// nodes over the view's σ transition system, so the same plan is valid
+// for documents of any height and never needs unfolding. Use
+// ForViewWithHeight for the Section 4.2 unfolding path (kept as the
+// differential oracle).
 func ForView(v *secview.View) (*Rewriter, error) {
-	if v.IsRecursive() {
-		return nil, fmt.Errorf("rewrite: view DTD is recursive; rewrite needs the document height (Section 4.2) — use ForViewWithHeight")
-	}
 	return newRewriter(v, v.DTD, identityOrig(v.DTD)), nil
 }
 
@@ -141,6 +151,20 @@ func (r *Rewriter) Unfolded() bool { return r.unfolded }
 
 // Height returns the unfolding height; see Unfolded.
 func (r *Rewriter) Height() int { return r.height }
+
+// Mode names the rewriting strategy: "flat" for a non-recursive view,
+// "height-free" for a recursive view rewritten via Rec automata, and
+// "unfold" for the Section 4.2 oracle path.
+func (r *Rewriter) Mode() string {
+	switch {
+	case r.unfolded:
+		return "unfold"
+	case r.view.IsRecursive():
+		return "height-free"
+	default:
+		return "flat"
+	}
+}
 
 // MemoLen returns the number of DP cells currently memoized — a proxy
 // for the rewriter's working-set size, exposed for observability.

@@ -282,15 +282,22 @@ func TestRewriteUndeclaredAttrQualifierIsEmpty(t *testing.T) {
 	}
 }
 
-func TestForViewRejectsRecursive(t *testing.T) {
+func TestForViewRecursiveIsHeightFree(t *testing.T) {
 	d := dtd.MustParse("root a\na -> b, c\nb -> #PCDATA\nc -> a*\n")
 	s := access.MustParseAnnotations(d, "ann(a, c) = N\n")
 	v, err := secview.Derive(s)
 	if err != nil {
 		t.Fatalf("Derive: %v", err)
 	}
-	if _, err := ForView(v); err == nil {
-		t.Errorf("recursive view accepted without height")
+	r, err := ForView(v)
+	if err != nil {
+		t.Fatalf("ForView on recursive view: %v", err)
+	}
+	if got := r.Mode(); got != "height-free" {
+		t.Errorf("Mode() = %q, want height-free", got)
+	}
+	if r.Unfolded() {
+		t.Errorf("height-free rewriter reports Unfolded")
 	}
 	if _, err := ForViewWithHeight(v, -1); err == nil {
 		t.Errorf("negative height accepted")

@@ -200,7 +200,7 @@ func (d *deriver) procAcc(a string) error {
 	}
 	b := newProdBuilder(prod.Kind)
 	for _, it := range prod.Items {
-		if err := d.child(a, it.Name, true, b); err != nil {
+		if err := d.child(a, it.Name, it.Starred, true, b); err != nil {
 			return err
 		}
 	}
@@ -213,15 +213,20 @@ func (d *deriver) procAcc(a string) error {
 
 // child processes one child type of a production, for both Proc_Acc
 // (intoView true: builder holds P_v(parent) and σ) and Proc_InAcc
-// (builder holds reg(parent) and path).
-func (d *deriver) child(parent, child string, parentAccessible bool, b *prodBuilder) error {
+// (builder holds reg(parent) and path). starred is the child item's
+// multiplicity in the parent's production; the view must preserve it —
+// a starred document child admits any number of occurrences, so every
+// view item it contributes (itself, a dummy, or pulled-up descendants)
+// must stay starred or materialization's "exactly one" check for
+// unstarred sequence entries rejects conforming documents.
+func (d *deriver) child(parent, child string, starred, parentAccessible bool, b *prodBuilder) error {
 	ann := d.effAnn(parent, child, parentAccessible)
 	switch ann.Kind {
 	case access.Allow:
-		b.add(child, false, xpath.L(child))
+		b.add(child, starred, xpath.L(child))
 		return d.procAcc(child)
 	case access.Cond:
-		b.add(child, false, xpath.Qualified{Sub: xpath.L(child), Cond: ann.Cond})
+		b.add(child, starred, xpath.Qualified{Sub: xpath.L(child), Cond: ann.Cond})
 		return d.procAcc(child)
 	}
 	// Inaccessible child: compute reg(child) and short-cut or rename.
@@ -229,7 +234,7 @@ func (d *deriver) child(parent, child string, parentAccessible bool, b *prodBuil
 		// Recursive inaccessible type (Section 3.4): rename to a dummy and
 		// retain it; its production is registered by finishDummies.
 		x := d.dummyLabel(child)
-		b.add(x, b.kind == dtd.Star, xpath.L(child))
+		b.add(x, starred || b.kind == dtd.Star, xpath.L(child))
 		return nil
 	}
 	reg, err := d.procInacc(child)
@@ -246,7 +251,7 @@ func (d *deriver) child(parent, child string, parentAccessible bool, b *prodBuil
 		switch reg.kind {
 		case dtd.Seq:
 			for _, it := range reg.items {
-				b.add(it.Name, it.Starred, prefix(reg.path[it.Name]))
+				b.add(it.Name, it.Starred || starred, prefix(reg.path[it.Name]))
 			}
 			return nil
 		case dtd.Star:
@@ -270,7 +275,7 @@ func (d *deriver) child(parent, child string, parentAccessible bool, b *prodBuil
 	// Short-cutting would violate the production normal form: rename the
 	// inaccessible child to a dummy label (Fig. 5 steps 16-20).
 	x := d.dummyLabel(child)
-	b.add(x, b.kind == dtd.Star, step)
+	b.add(x, starred || b.kind == dtd.Star, step)
 	return nil
 }
 
@@ -297,7 +302,7 @@ func (d *deriver) procInacc(a string) (*regInfo, error) {
 	}
 	b := newProdBuilder(prod.Kind)
 	for _, it := range prod.Items {
-		if err := d.child(a, it.Name, false, b); err != nil {
+		if err := d.child(a, it.Name, it.Starred, false, b); err != nil {
 			return nil, err
 		}
 	}

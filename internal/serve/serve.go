@@ -246,6 +246,39 @@ func (s *Server) registerMetrics() {
 	m.CounterFunc("sv_eval_total", modeHelp, s.evalSeq.Load, obs.L("mode", obs.ModeSequential))
 	m.CounterFunc("sv_eval_total", modeHelp, s.evalPar.Load, obs.L("mode", obs.ModeParallel))
 	m.CounterFunc("sv_eval_total", modeHelp, s.evalIdx.Load, obs.L("mode", obs.ModeIndexed))
+	const rwHelp = "Cached policy engines by rewriting strategy (flat, height-free, unfold)."
+	for _, mode := range []string{"flat", "height-free", "unfold"} {
+		mode := mode
+		m.GaugeFunc("sv_engines_by_rewrite_mode", rwHelp, func() float64 {
+			n := 0
+			for _, cs := range s.reg.Stats() {
+				for _, b := range cs.Bindings {
+					if b.RewriteMode == mode {
+						n++
+					}
+				}
+			}
+			return float64(n)
+		}, obs.L("mode", mode))
+	}
+	m.GaugeFunc("sv_plan_cache_nodes", "Total AST nodes across all cached optimized plans (all classes and bindings) — grows with document height under the unfold oracle, height-independent in height-free mode.", func() float64 {
+		n := 0
+		for _, cs := range s.reg.Stats() {
+			for _, b := range cs.Bindings {
+				n += b.Engine.PlanCacheNodes
+			}
+		}
+		return float64(n)
+	})
+	m.GaugeFunc("sv_plan_cache_distinct_queries", "Distinct query texts across all cached plans; equals total entries exactly when no height-class splitting occurs.", func() float64 {
+		n := 0
+		for _, cs := range s.reg.Stats() {
+			for _, b := range cs.Bindings {
+				n += b.Engine.PlanCacheQueries
+			}
+		}
+		return float64(n)
+	})
 	const traceHelp = "Traces started and kept by the sampler (explain traces included)."
 	m.CounterFunc("sv_traces_total", traceHelp, func() uint64 { st, _ := s.tracer.Stats(); return st }, obs.L("state", "started"))
 	m.CounterFunc("sv_traces_total", traceHelp, func() uint64 { _, k := s.tracer.Stats(); return k }, obs.L("state", "kept"))

@@ -31,6 +31,14 @@ type Config struct {
 	// MaxDepth switches generation to minimal expansions below this depth,
 	// bounding documents over recursive DTDs. Default: 30.
 	MaxDepth int
+	// MaxNodes, when positive, switches the whole generation to minimal
+	// expansions once that many elements exist. DTDs with several starred
+	// recursive positions per production branch supercritically — size
+	// grows exponentially in MaxDepth — and this caps the document at
+	// roughly MaxNodes elements (plus the minimal completions of open
+	// subtrees) regardless of the DTD's branching structure. Default: 0
+	// (unlimited).
+	MaxNodes int
 	// Value produces the PCDATA for a text production, given the element
 	// label and the generator's RNG. The default yields short distinct
 	// strings ("v0".."v9" per label).
@@ -80,6 +88,7 @@ type generator struct {
 	cfg     Config
 	rng     *rand.Rand
 	heights map[string]int
+	nodes   int
 }
 
 func (g *generator) fill(n *xmltree.Node, depth int) {
@@ -90,7 +99,8 @@ func (g *generator) fill(n *xmltree.Node, depth int) {
 		}
 	}
 	c := g.d.MustProduction(n.Label)
-	minimal := depth >= g.cfg.MaxDepth
+	minimal := depth >= g.cfg.MaxDepth ||
+		(g.cfg.MaxNodes > 0 && g.nodes >= g.cfg.MaxNodes)
 	switch c.Kind {
 	case dtd.Empty:
 	case dtd.Text:
@@ -129,6 +139,7 @@ func (g *generator) child(n *xmltree.Node, name string, depth int) {
 	}
 	c := xmltree.NewElement(name)
 	n.AppendChild(c)
+	g.nodes++
 	g.fill(c, depth+1)
 }
 

@@ -265,6 +265,8 @@ func (e *seqEval) path(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 			}
 		}
 		return out, nil
+	case Rec:
+		return evalRec(p, ctx, e.path)
 	default:
 		return nil, fmt.Errorf("evalPath: unknown path node %T", p)
 	}

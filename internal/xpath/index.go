@@ -203,6 +203,10 @@ func (e indexedEvaluator) eval(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, er
 			}
 		}
 		return out, nil
+	case Rec:
+		// σ edges evaluate through e.eval, so residual descendant steps
+		// inside them still benefit from the posting lists.
+		return evalRec(p, ctx, e.eval)
 	default:
 		return nil, fmt.Errorf("evalPath: unknown path node %T", p)
 	}

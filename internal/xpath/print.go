@@ -90,6 +90,10 @@ func writePath(b *strings.Builder, p Path, ctx int) {
 		b.WriteString("[")
 		writeQual(b, p.Cond, qprecOr)
 		b.WriteString("]")
+	case Rec:
+		// Rec has no concrete syntax (it only appears in rewritten plans,
+		// which are never re-parsed); render a compact opaque form.
+		fmt.Fprintf(b, "rec{%s=>%s}", p.Start, p.Accept)
 	default:
 		fmt.Fprintf(b, "<?path %T>", p)
 	}

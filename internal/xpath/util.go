@@ -29,6 +29,10 @@ func Equal(p1, p2 Path) bool {
 	case Qualified:
 		b, ok := p2.(Qualified)
 		return ok && Equal(a.Sub, b.Sub) && QualEqual(a.Cond, b.Cond)
+	case Rec:
+		b, ok := p2.(Rec)
+		return ok && a.Start == b.Start && a.Accept == b.Accept &&
+			a.ResultLabel == b.ResultLabel && a.G.equal(b.G)
 	default:
 		return false
 	}
@@ -83,6 +87,12 @@ func Size(p Path) int {
 		return 1 + Size(p.Left) + Size(p.Right)
 	case Qualified:
 		return 1 + Size(p.Sub) + QualSize(p.Cond)
+	case Rec:
+		// One node plus the transition system's weight. The graph is
+		// shared between a plan's Rec nodes, so summing it per occurrence
+		// over-counts memory, but the total stays independent of document
+		// height — which is the property plan-size accounting must keep.
+		return 1 + p.G.Size()
 	default:
 		return 1
 	}
@@ -180,6 +190,12 @@ func Labels(p Path) []string {
 		case Qualified:
 			walkPath(p.Sub)
 			walkQual(p.Cond)
+		case Rec:
+			for _, s := range p.G.States() {
+				for _, e := range p.G.EdgesFrom(s) {
+					walkPath(e.Sig)
+				}
+			}
 		}
 	}
 	walkQual = func(q Qual) {
@@ -245,6 +261,17 @@ func BindVars(p Path, env map[string]string) (Path, error) {
 			return nil, err
 		}
 		return Qualified{Sub: s, Cond: q}, nil
+	case Rec:
+		// Plans are normally built from bound views, so the common case
+		// keeps the shared graph pointer intact.
+		if !p.G.hasVars() {
+			return p, nil
+		}
+		g, err := p.G.bindVars(env)
+		if err != nil {
+			return nil, err
+		}
+		return Rec{G: g, Start: p.Start, Accept: p.Accept, ResultLabel: p.ResultLabel}, nil
 	default:
 		return nil, fmt.Errorf("xpath: BindVars: unknown path node %T", p)
 	}
@@ -310,8 +337,11 @@ func Vars(p Path) []string {
 	var out []string
 	seen := make(map[string]bool)
 	for _, sub := range Subqueries(p) {
-		if q, ok := sub.(Qualified); ok {
-			collectQualVars(q.Cond, seen, &out)
+		switch sub := sub.(type) {
+		case Qualified:
+			collectQualVars(sub.Cond, seen, &out)
+		case Rec:
+			sub.G.collectVars(seen, &out)
 		}
 	}
 	return out
@@ -383,6 +413,10 @@ func HasDescend(p Path) bool {
 		return HasDescend(p.Left) || HasDescend(p.Right)
 	case Qualified:
 		return HasDescend(p.Sub) || qualHasDescend(p.Cond)
+	case Rec:
+		// The automaton selects nodes at arbitrary depth — the defining
+		// property of a descendant-class construct.
+		return true
 	default:
 		return false
 	}
