@@ -20,6 +20,12 @@
 // The default mix per scenario spans cheap label paths, descendant /
 // recursive-view queries, and qualifier-heavy queries; override it with
 // repeatable -query name:weight:class:query[:param=value,...] flags.
+// -zipf skews the mix's popularity (a few hot queries dominate, as in
+// real query logs) and -anscache turns on the in-process engines'
+// semantic answer cache — together they form the repeated-query
+// scenario that measures the answer cache's effect:
+//
+//	svload -builtin hospital -zipf 1.2 -anscache -levels 16 -duration 2s
 package main
 
 import (
@@ -59,6 +65,8 @@ func main() {
 		parallel    = flag.Bool("parallel", false, "in-process engines use the parallel worker-pool evaluator")
 		workers     = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 		indexed     = flag.Bool("indexed", true, "in-process engines answer large-document descendant queries from a cached label index")
+		anscache    = flag.Bool("anscache", false, "in-process engines answer repeated or provably-contained queries from a semantic answer cache")
+		zipf        = flag.Float64("zipf", 0, "Zipf-skew the mix's popularity with this exponent (0 = keep the mix's own weights); pair with -anscache for the repeated-query scenario")
 		backoff     = flag.Duration("reject-backoff", time.Millisecond, "closed-loop pause after a 429 before retrying (negative = spin)")
 		seed        = flag.Int64("seed", 1, "load-schedule seed")
 		out         = flag.String("out", "BENCH_svload.json", "report file (\"-\" for stdout only)")
@@ -76,6 +84,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	mix = loadgen.ZipfMix(mix, *zipf)
 
 	var target loadgen.Target
 	var srv *serve.Server
@@ -89,6 +98,7 @@ func main() {
 			Parallel:       *parallel,
 			ParallelConfig: xpath.ParallelConfig{Workers: *workers},
 			Indexed:        *indexed,
+			AnswerCache:    *anscache,
 		})
 		if err != nil {
 			fatal(err)
@@ -114,6 +124,8 @@ func main() {
 		DurationNs:  int64(*duration),
 		MaxInFlight: *maxInFlight,
 		Mix:         mix,
+		Zipf:        *zipf,
+		AnswerCache: *anscache,
 	}
 	if doc != nil {
 		rep.DocNodes, rep.DocHeight = doc.Size(), doc.Height()
@@ -182,6 +194,8 @@ type report struct {
 	TimeoutNs   int64              `json:"timeout_ns"`
 	DurationNs  int64              `json:"duration_per_level_ns"`
 	MaxInFlight int                `json:"max_in_flight"`
+	Zipf        float64            `json:"zipf,omitempty"`
+	AnswerCache bool               `json:"answer_cache,omitempty"`
 	Mix         loadgen.Mix        `json:"mix"`
 	Levels      []loadgen.Result   `json:"levels"`
 	Finding     finding            `json:"finding"`

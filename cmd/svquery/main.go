@@ -17,8 +17,10 @@
 // the optimization pass; -indexed evaluates with the label-index
 // evaluator; -parallel evaluates with the worker-pool evaluator
 // (-workers bounds it); the two are mutually exclusive. -stats prints
-// the engine's plan-cache and evaluation counters to stderr; -repeat
-// re-runs the query to exercise the plan cache; -timeout bounds each
+// the engine's plan-cache and evaluation counters to stderr; -anscache
+// answers repeats (and provably-contained restrictions) from a bounded
+// semantic answer cache; -repeat re-runs the query to exercise the
+// plan and answer caches; -timeout bounds each
 // evaluation with a deadline regardless of evaluator (a query that
 // exceeds it fails with a context error).
 package main
@@ -53,8 +55,9 @@ func main() {
 		indexed    = flag.Bool("indexed", false, "evaluate with the label-index evaluator")
 		parallel   = flag.Bool("parallel", false, "evaluate with the parallel worker-pool evaluator")
 		workers    = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		anscache   = flag.Bool("anscache", false, "answer repeated or provably-contained queries from a bounded answer cache (pair with -repeat)")
 		stats      = flag.Bool("stats", false, "print plan-cache and evaluation counters to stderr")
-		repeat     = flag.Int("repeat", 1, "run the query this many times (repeats hit the plan cache)")
+		repeat     = flag.Int("repeat", 1, "run the query this many times (repeats hit the plan and answer caches)")
 		timeout    = flag.Duration("timeout", 0, "per-evaluation deadline, e.g. 250ms (0 = none)")
 		params     cli.Params
 	)
@@ -73,6 +76,7 @@ func main() {
 	cfg := core.Config{
 		Parallel:       *parallel,
 		ParallelConfig: xpath.ParallelConfig{Workers: *workers},
+		AnswerCache:    *anscache,
 	}
 	engine, err := buildEngine(*viewPath, *builtin, *dtdPath, *specPath, params, cfg)
 	if err != nil {
@@ -201,6 +205,11 @@ func printStats(engine *core.Engine, show bool) {
 		s.HeightCache.Hits, s.HeightCache.Misses, s.HeightCache.Evictions, s.HeightCache.Entries, s.HeightCache.Capacity)
 	fmt.Fprintf(os.Stderr, "evaluation:   %d sequential, %d parallel, %d indexed (%d union forks, %d partitions)\n",
 		s.SequentialEvals, s.ParallelEvals, s.IndexedEvals, s.UnionForks, s.Partitions)
+	if s.AnswerCache.Capacity > 0 {
+		fmt.Fprintf(os.Stderr, "answer cache: %d hits, %d containment hits, %d misses, %d evictions, %d/%d entries\n",
+			s.AnswerCache.Hits, s.AnswerCache.ContainmentHits, s.AnswerCache.Misses,
+			s.AnswerCache.Evictions, s.AnswerCache.Entries, s.AnswerCache.Capacity)
+	}
 }
 
 func buildEngine(viewPath, builtin, dtdPath, specPath string, params cli.Params, cfg core.Config) (*core.Engine, error) {

@@ -28,7 +28,9 @@
 // every derived engine; -indexed (on by default) lets engines answer
 // descendant queries over large documents from a cached per-document
 // label index, with -index-threshold setting the minimum document
-// size; -trace-sample/-trace-ring tune request-trace sampling and
+// size; -anscache lets engines answer repeated or provably-contained
+// queries from a bounded semantic answer cache (-anscache-cap bounds
+// it); -trace-sample/-trace-ring tune request-trace sampling and
 // -slow-query the slow-query log threshold.
 package main
 
@@ -75,6 +77,8 @@ func main() {
 		threshold   = flag.Int("threshold", 0, "parallel-evaluation size threshold (0 = default)")
 		indexed     = flag.Bool("indexed", true, "serve descendant queries over large documents from a cached label index")
 		indexMin    = flag.Int("index-threshold", 0, "minimum document size (nodes) for indexed evaluation (0 = default)")
+		anscache    = flag.Bool("anscache", false, "answer repeated or provably-contained queries from a bounded per-engine answer cache")
+		anscacheCap = flag.Int("anscache-cap", 0, "answer-cache entries per engine (0 = default)")
 		headerWait  = flag.Duration("read-header-timeout", 5*time.Second, "how long a connection may take to send its request headers")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
 		traceSample = flag.Int("trace-sample", 0, "keep a span tree for one request in N (0 = tracing off, 1 = every request)")
@@ -90,11 +94,13 @@ func main() {
 		fatal(fmt.Errorf("need -doc"))
 	}
 	engineCfg := core.Config{
-		Parallel:       *parallel,
-		ParallelConfig: xpath.ParallelConfig{Workers: *workers, Threshold: *threshold},
-		Indexed:        *indexed,
-		IndexThreshold: *indexMin,
-		UnfoldRewrite:  *unfold,
+		Parallel:            *parallel,
+		ParallelConfig:      xpath.ParallelConfig{Workers: *workers, Threshold: *threshold},
+		Indexed:             *indexed,
+		IndexThreshold:      *indexMin,
+		AnswerCache:         *anscache,
+		AnswerCacheCapacity: *anscacheCap,
+		UnfoldRewrite:       *unfold,
 	}
 	reg, err := buildRegistry(*builtin, *dtdPath, classes, engineCfg)
 	if err != nil {

@@ -1,0 +1,224 @@
+package anscache
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/dtds"
+	"repro/internal/optimize"
+	"repro/internal/xmlgen"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// neverProver refuses every proof, so only exact-key hits can happen.
+type neverProver struct{}
+
+func (neverProver) Equivalent(p1, p2 xpath.Path) bool { return false }
+
+func hospitalDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	return xmlgen.Generate(dtds.Hospital(), xmlgen.Config{Seed: 7, MinRepeat: 2, MaxRepeat: 4, MaxDepth: 12})
+}
+
+func lookupMust(t *testing.T, c *Cache, group string, p xpath.Path, prover Prover) ([]*xmltree.Node, Kind) {
+	t.Helper()
+	nodes, kind, err := c.Lookup(context.Background(), group, xpath.String(p), p, prover)
+	if err != nil {
+		t.Fatalf("Lookup(%s): %v", xpath.String(p), err)
+	}
+	return nodes, kind
+}
+
+func TestExactEqualHit(t *testing.T) {
+	c := New(8)
+	doc := hospitalDoc(t)
+	p := xpath.MustParse("//patient")
+	want := xpath.EvalDoc(p, doc)
+	if len(want) == 0 {
+		t.Fatalf("generated document has no patients")
+	}
+	if _, kind := lookupMust(t, c, "g1", p, neverProver{}); kind != KindMiss {
+		t.Fatalf("empty cache returned %v", kind)
+	}
+	c.Put("g1", xpath.String(p), p, want)
+	got, kind := lookupMust(t, c, "g1", p, neverProver{})
+	if kind != KindEqual {
+		t.Fatalf("kind = %v, want equal", kind)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hit returned %d nodes, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	// A different group must not see the entry.
+	if _, kind := lookupMust(t, c, "g2", p, neverProver{}); kind != KindMiss {
+		t.Fatalf("cross-group lookup returned %v", kind)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.ContainmentHits != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestEquivalenceEqualHit(t *testing.T) {
+	c := New(8)
+	doc := hospitalDoc(t)
+	prover := optimize.New(dtds.Hospital())
+	cached := xpath.MustParse("dept | //bill")
+	c.Put("g", xpath.String(cached), cached, xpath.EvalDoc(cached, doc))
+	// Same query written differently: commuted union.
+	q := xpath.MustParse("//bill | dept")
+	got, kind := lookupMust(t, c, "g", q, prover)
+	if kind != KindEqual {
+		t.Fatalf("kind = %v, want equal", kind)
+	}
+	want := xpath.EvalDoc(q, doc)
+	if len(got) != len(want) {
+		t.Fatalf("equivalence hit returned %d nodes, want %d", len(got), len(want))
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestContainmentHit(t *testing.T) {
+	c := New(8)
+	doc := hospitalDoc(t)
+	prover := optimize.New(dtds.Hospital())
+	base := xpath.MustParse("//patient")
+	baseNodes := xpath.EvalDoc(base, doc)
+	c.Put("g", xpath.String(base), base, baseNodes)
+
+	q := xpath.Qualified{Sub: base, Cond: xpath.MustParseQual(".//trial")}
+	got, kind := lookupMust(t, c, "g", q, prover)
+	if kind != KindContainment {
+		t.Fatalf("kind = %v, want containment", kind)
+	}
+	want := xpath.EvalDoc(q, doc)
+	if len(want) == 0 || len(want) == len(baseNodes) {
+		t.Fatalf("qualifier not discriminating on this document (%d of %d); pick another seed", len(want), len(baseNodes))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("containment hit returned %d nodes, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	s := c.Stats()
+	if s.ContainmentHits != 1 || s.Hits != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestNonContainedNeverHits is the soundness leg: a query that is not
+// contained in any cached entry must miss, even when the cache is full
+// of same-group entries.
+func TestNonContainedNeverHits(t *testing.T) {
+	c := New(16)
+	doc := hospitalDoc(t)
+	prover := optimize.New(dtds.Hospital())
+	for _, q := range []string{"//patient", "//bill", "dept", "//staff/nurse"} {
+		p := xpath.MustParse(q)
+		c.Put("g", q, p, xpath.EvalDoc(p, doc))
+	}
+	// //name is contained in none of the cached queries (and contains
+	// several of them, which must NOT produce a hit — direction matters).
+	q := xpath.MustParse("//name")
+	if _, kind := lookupMust(t, c, "g", q, prover); kind != KindMiss {
+		t.Fatalf("non-contained query returned %v", kind)
+	}
+}
+
+func TestEvictionAndBound(t *testing.T) {
+	c := New(4)
+	p := xpath.MustParse("dept")
+	for i := 0; i < 20; i++ {
+		c.Put("g", fmt.Sprintf("q%d", i), p, nil)
+	}
+	if n := c.Len(); n > 4+len(c.shards)-1 {
+		t.Errorf("Len = %d exceeds bound", n)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Errorf("no evictions recorded")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(8)
+	p := xpath.MustParse("dept")
+	c.Put("g", "dept", p, nil)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("Len after Purge = %d", c.Len())
+	}
+	if _, kind := lookupMust(t, c, "g", p, neverProver{}); kind != KindMiss {
+		t.Errorf("purged entry still served: %v", kind)
+	}
+}
+
+func TestOversizedResultNotCached(t *testing.T) {
+	c := New(8)
+	p := xpath.MustParse("dept")
+	big := make([]*xmltree.Node, maxNodes+1)
+	c.Put("g", "dept", p, big)
+	if c.Len() != 0 {
+		t.Errorf("oversized result was cached")
+	}
+}
+
+// TestHitReturnsPrivateCopy: a caller mutating a hit's slice must not
+// corrupt the cached entry.
+func TestHitReturnsPrivateCopy(t *testing.T) {
+	c := New(8)
+	doc := hospitalDoc(t)
+	p := xpath.MustParse("//patient")
+	nodes := xpath.EvalDoc(p, doc)
+	if len(nodes) < 2 {
+		t.Fatalf("need at least 2 patients")
+	}
+	c.Put("g", xpath.String(p), p, nodes)
+	got1, _ := lookupMust(t, c, "g", p, neverProver{})
+	got1[0] = got1[1] // caller scribbles on its slice
+	got2, _ := lookupMust(t, c, "g", p, neverProver{})
+	if got2[0] != nodes[0] {
+		t.Errorf("cached entry corrupted by caller mutation")
+	}
+}
+
+func TestContainmentHonorsCancellation(t *testing.T) {
+	c := New(8)
+	doc := hospitalDoc(t)
+	prover := optimize.New(dtds.Hospital())
+	base := xpath.MustParse("//patient")
+	c.Put("g", xpath.String(base), base, xpath.EvalDoc(base, doc))
+	q := xpath.Qualified{Sub: base, Cond: xpath.MustParseQual(".//trial")}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Lookup(ctx, "g", xpath.String(q), q, prover); err == nil {
+		t.Errorf("cancelled containment lookup returned no error")
+	}
+}
+
+func TestSplitQuals(t *testing.T) {
+	base := xpath.MustParse("//patient")
+	q1 := xpath.MustParseQual(".//trial")
+	q2 := xpath.MustParseQual("name")
+	p := xpath.Qualified{Sub: xpath.Qualified{Sub: base, Cond: q1}, Cond: q2}
+	b, quals := splitQuals(p)
+	if !xpath.Equal(b, base) {
+		t.Errorf("base = %s", xpath.String(b))
+	}
+	if len(quals) != 2 || !xpath.QualEqual(quals[0], q1) || !xpath.QualEqual(quals[1], q2) {
+		t.Errorf("quals = %v", quals)
+	}
+	if b, quals := splitQuals(base); !xpath.Equal(b, base) || quals != nil {
+		t.Errorf("unqualified plan split wrong")
+	}
+}

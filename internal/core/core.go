@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/anscache"
 	"repro/internal/dtd"
 	"repro/internal/obs"
 	"repro/internal/optimize"
@@ -47,6 +48,11 @@ const (
 	DefaultPlanCacheCapacity   = 512
 	DefaultHeightCacheCapacity = 64
 	DefaultIndexCacheCapacity  = 16
+	// DefaultAnswerCacheCapacity bounds the semantic answer cache
+	// (Config.AnswerCache): each entry pins a result node-set, so it sits
+	// between the plan cache (tiny entries) and the index cache (huge
+	// ones).
+	DefaultAnswerCacheCapacity = 256
 )
 
 // DefaultIndexThreshold is the document size (nodes) below which an
@@ -89,6 +95,18 @@ type Config struct {
 	// IndexCacheCapacity bounds the per-document index cache. 0 means
 	// DefaultIndexCacheCapacity.
 	IndexCacheCapacity int
+	// AnswerCache turns on the semantic answer cache: evaluated result
+	// node-sets are cached per (engine epoch, document, optimized plan)
+	// and an incoming query is answered from a cached entry the
+	// optimizer's containment test proves equal to it or a
+	// qualifier-filtered restriction of it (see internal/anscache). Off
+	// by default: the cache trades memory (pinned node-sets) and
+	// per-miss containment proofs for skipped evaluations, which pays on
+	// repeated-query workloads.
+	AnswerCache bool
+	// AnswerCacheCapacity bounds the answer cache. 0 means
+	// DefaultAnswerCacheCapacity.
+	AnswerCacheCapacity int
 	// UnfoldRewrite selects the Section 4.2 unfolding path for recursive
 	// views instead of the default height-free rewriting: plans are then
 	// built per document height class and cached per (query, height).
@@ -116,6 +134,13 @@ func (c Config) indexCap() int {
 		return c.IndexCacheCapacity
 	}
 	return DefaultIndexCacheCapacity
+}
+
+func (c Config) answerCap() int {
+	if c.AnswerCacheCapacity > 0 {
+		return c.AnswerCacheCapacity
+	}
+	return DefaultAnswerCacheCapacity
 }
 
 func (c Config) indexThreshold() int {
@@ -151,11 +176,22 @@ type Engine struct {
 	// height class) so repeated queries skip rewrite+optimize.
 	plans *plancache.Cache[*Prepared]
 
-	// indexes caches per-document label indexes, keyed by document
-	// pointer identity. A cached Index holds its document alive, so a
-	// live entry can never alias a different document at the same
-	// address; indexFor verifies anyway and rebuilds on mismatch.
+	// indexes caches per-document label indexes, keyed by (epoch,
+	// document pointer identity). A cached Index holds its document
+	// alive, so a live entry can never alias a different document at the
+	// same address; indexFor verifies anyway and rebuilds on mismatch.
 	indexes *plancache.Cache[*xpath.Index]
+
+	// answers is the semantic answer cache (Config.AnswerCache), nil
+	// when disabled. Keys embed epoch, so BumpEpoch strands — and then
+	// purges — every entry.
+	answers *anscache.Cache
+
+	// epoch counts document/policy rebinds the engine has been told
+	// about (BumpEpoch). It prefixes every answer-cache and index-cache
+	// key, so artifacts derived before a swap are unreachable by
+	// construction afterward.
+	epoch atomic.Uint64
 
 	queries      atomic.Uint64
 	cancelled    atomic.Uint64
@@ -199,6 +235,9 @@ func FromViewConfig(view *secview.View, cfg Config) (*Engine, error) {
 		plans:    plancache.New[*Prepared](cfg.planCap()),
 		indexes:  plancache.New[*xpath.Index](cfg.indexCap()),
 	}
+	if cfg.AnswerCache {
+		e.answers = anscache.New(cfg.answerCap())
+	}
 	if !view.IsRecursive() || !cfg.UnfoldRewrite {
 		r, err := rewrite.ForView(view)
 		if err != nil {
@@ -221,6 +260,25 @@ func (e *Engine) DocumentDTD() *dtd.DTD { return e.spec.D }
 
 // Spec returns the bound access specification.
 func (e *Engine) Spec() *access.Spec { return e.spec }
+
+// Epoch returns the engine's current document/policy epoch. The epoch
+// is part of every answer-cache and index-cache key, so cached answers
+// and indexes from before a BumpEpoch can never be served after it.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// BumpEpoch advances the epoch, called when a document the engine has
+// served (or the policy binding behind it) is swapped out from under
+// it. Every cached answer and per-document index becomes unreachable by
+// key immediately — staleness by construction — and both caches are
+// purged to reclaim the memory; plans survive, because a plan depends
+// only on the policy and query text, never on a document.
+func (e *Engine) BumpEpoch() {
+	e.epoch.Add(1)
+	if e.answers != nil {
+		e.answers.Purge()
+	}
+	e.indexes.Purge()
+}
 
 // RewriteMode names the engine's rewriting strategy: "flat" for a
 // non-recursive view, "height-free" for a recursive view rewritten via
@@ -289,9 +347,11 @@ func (e *Engine) heightClass(height int) int {
 // mid-evaluation or silently match nothing, and neither belongs in the
 // cache. A context carrying a QueryMetrics carrier gets the cache
 // outcome and, on a miss, the per-phase durations and plan shape; a
-// context carrying a span gets "rewrite"/"optimize" child spans. As
-// with GetOrCompute, concurrent misses on one key may build the plan
-// more than once and the last Put wins.
+// context carrying a span gets "rewrite"/"optimize" child spans.
+// Concurrent misses on one key may build the plan more than once and
+// the last Put wins (GetOrCompute singleflights, but this path wants
+// per-request metrics attribution, and a duplicate plan build is
+// harmless).
 func (e *Engine) prepared(ctx context.Context, p xpath.Path, height int) (*Prepared, error) {
 	if vars := xpath.Vars(p); len(vars) > 0 {
 		return nil, fmt.Errorf("core: %w %v; bind them with xpath.BindVars before querying", ErrUnboundVars, vars)
@@ -331,7 +391,7 @@ func (e *Engine) prepared(ctx context.Context, p xpath.Path, height int) (*Prepa
 			qm.Optimized = xpath.String(po)
 		}
 	}
-	prep := &Prepared{Source: p, Rewritten: pt, Optimized: po}
+	prep := &Prepared{Source: p, Rewritten: pt, Optimized: po, optimizedText: xpath.String(po)}
 	e.plans.Put(key, prep)
 	return prep, nil
 }
@@ -352,17 +412,50 @@ func (e *Engine) Query(doc *xmltree.Document, p xpath.Path) ([]*xmltree.Node, er
 // and caching complete normally either way — a cancelled query leaves
 // the plan cache exactly as a successful one would, so a retry hits the
 // cached plan.
+//
+// With Config.AnswerCache on, the prepared plan is first offered to the
+// semantic answer cache: a provably-equal cached plan answers directly,
+// a provable base-of-trailing-qualifiers match answers by filtering the
+// cached node-set, and only a miss runs the evaluator (whose successful
+// result is then cached). Hits report eval mode "cached".
 func (e *Engine) QueryCtx(ctx context.Context, doc *xmltree.Document, p xpath.Path) ([]*xmltree.Node, error) {
 	e.queries.Add(1)
 	prep, err := e.prepared(ctx, p, doc.Height())
 	if err != nil {
 		return nil, err
 	}
-	out, err := e.evalPrepared(ctx, prep, doc)
-	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		e.cancelled.Add(1)
+	var group, planText string
+	if e.answers != nil {
+		group, planText = e.docGroup(doc), prep.optText()
+		out, kind, err := e.answers.Lookup(ctx, group, planText, prep.Optimized, e.opt)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				e.cancelled.Add(1)
+			}
+			return nil, err
+		}
+		if qm := obs.QueryMetricsFromContext(ctx); qm != nil {
+			qm.AnswerCacheHit = kind.String()
+		}
+		obs.SpanFromContext(ctx).SetAttr("answer_cache", kind.String())
+		if kind != anscache.KindMiss {
+			if qm := obs.QueryMetricsFromContext(ctx); qm != nil {
+				qm.EvalMode = obs.ModeCached
+			}
+			return out, nil
+		}
 	}
-	return out, err
+	out, err := e.evalPrepared(ctx, prep, doc)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.cancelled.Add(1)
+		}
+		return out, err
+	}
+	if e.answers != nil {
+		e.answers.Put(group, planText, prep.Optimized, out)
+	}
+	return out, nil
 }
 
 // indexApplicable reports whether the engine should answer this
@@ -384,12 +477,20 @@ func (e *Engine) indexApplicable(prep *Prepared, doc *xmltree.Document) bool {
 	return xpath.HasDescend(prep.Optimized) || xpath.HasDescend(prep.Source)
 }
 
+// docGroup keys a document for the answer and index caches: the
+// engine epoch plus the document's pointer identity. The epoch prefix
+// makes every pre-swap entry unreachable after BumpEpoch.
+func (e *Engine) docGroup(doc *xmltree.Document) string {
+	return strconv.FormatUint(e.epoch.Load(), 10) + "\x00" + fmt.Sprintf("%p", doc)
+}
+
 // indexFor returns the cached label index for the document, building
-// and caching it on first use. Keys are document pointer identities; a
-// cached index pins its document, so a live entry cannot collide with a
-// recycled address, and the Doc check below is pure defense.
+// and caching it on first use. Keys are (epoch, document pointer
+// identity); a cached index pins its document, so a live entry cannot
+// collide with a recycled address, and the Doc check below is pure
+// defense.
 func (e *Engine) indexFor(doc *xmltree.Document) *xpath.Index {
-	key := fmt.Sprintf("%p", doc)
+	key := e.docGroup(doc)
 	idx, _ := e.indexes.GetOrCompute(key, func() (*xpath.Index, error) {
 		return xpath.NewIndex(doc), nil
 	})
@@ -527,6 +628,12 @@ type Explain struct {
 	// plan cache for this query (explain re-measures regardless, and
 	// re-caches its fresh plan).
 	PlanWasCached bool `json:"plan_was_cached"`
+	// AnswerCacheHit is the answer-cache outcome the serving path would
+	// have seen for this (document, plan): "equal", "containment", or
+	// "miss"; empty when Config.AnswerCache is off. Explain still
+	// evaluates fresh — the phase timings above are always measured —
+	// and caches its fresh answer like a served query would.
+	AnswerCacheHit string `json:"answer_cache_hit,omitempty"`
 }
 
 // ExplainCtx answers a view query like QueryCtx while measuring every
@@ -564,8 +671,15 @@ func (e *Engine) ExplainCtx(ctx context.Context, doc *xmltree.Document, p xpath.
 	ex.OptimizeNs = time.Since(start).Nanoseconds()
 	ex.Optimized = xpath.String(po)
 	ex.OptimizedSize = xpath.Size(po)
-	prep := &Prepared{Source: p, Rewritten: pt, Optimized: po}
+	prep := &Prepared{Source: p, Rewritten: pt, Optimized: po, optimizedText: ex.Optimized}
 	e.plans.Put(key, prep)
+	if e.answers != nil {
+		// Probe the answer cache for the report, then evaluate fresh
+		// anyway: explain's contract is measured phases.
+		if _, kind, lerr := e.answers.Lookup(ctx, e.docGroup(doc), prep.optText(), prep.Optimized, e.opt); lerr == nil {
+			ex.AnswerCacheHit = kind.String()
+		}
+	}
 	// Evaluate with a private carrier so the mode and work counters for
 	// this run are readable even when the caller installed none.
 	qm := &obs.QueryMetrics{}
@@ -578,6 +692,9 @@ func (e *Engine) ExplainCtx(ctx context.Context, doc *xmltree.Document, p xpath.
 		return nil, err
 	}
 	ex.EvalNs = time.Since(start).Nanoseconds()
+	if e.answers != nil {
+		e.answers.Put(e.docGroup(doc), prep.optText(), prep.Optimized, out)
+	}
 	ex.EvalMode = qm.EvalMode
 	ex.NodesVisited = qm.NodesVisited
 	ex.UnionForks = qm.UnionForks
@@ -624,6 +741,12 @@ type Stats struct {
 	// IndexCache reports the per-document label index cache (indexed
 	// mode only; empty otherwise).
 	IndexCache plancache.Stats `json:"index_cache"`
+	// AnswerCache reports the semantic answer cache (Config.AnswerCache;
+	// zero when off). Hits are equal hits; ContainmentHits count answers
+	// assembled by qualifier-filtering a cached superset.
+	AnswerCache anscache.Stats `json:"answer_cache"`
+	// Epoch is the engine's document/policy epoch (see BumpEpoch).
+	Epoch uint64 `json:"epoch"`
 	// SequentialEvals, ParallelEvals, and IndexedEvals count
 	// evaluations by path; UnionForks and Partitions count the parallel
 	// evaluator's fan-outs (see xpath.ParallelStats).
@@ -644,7 +767,13 @@ func (e *Engine) Stats() Stats {
 	seq, par, forks, parts := e.evalStats.Snapshot()
 	rules, pruned := e.opt.Stats()
 	queries, classes, nodes := e.planCacheBreakdown()
+	var ans anscache.Stats
+	if e.answers != nil {
+		ans = e.answers.Stats()
+	}
 	return Stats{
+		AnswerCache:            ans,
+		Epoch:                  e.epoch.Load(),
 		Queries:                e.queries.Load(),
 		Cancelled:              e.cancelled.Load(),
 		PlanCache:              e.plans.Stats(),
@@ -693,6 +822,19 @@ type Prepared struct {
 	Rewritten xpath.Path
 	// Optimized is the DTD-optimized form actually evaluated.
 	Optimized xpath.Path
+
+	// optimizedText is xpath.String(Optimized), rendered once at build
+	// time: it is the answer cache's exact-match key, needed per query.
+	optimizedText string
+}
+
+// optText returns the printed optimized plan, tolerating Prepared
+// values constructed outside the engine (tests) that skipped the field.
+func (q *Prepared) optText() string {
+	if q.optimizedText != "" {
+		return q.optimizedText
+	}
+	return xpath.String(q.Optimized)
 }
 
 // Prepare rewrites and optimizes a view query once, so frontends can

@@ -279,3 +279,37 @@ func TestHospitalSaturationSmoke(t *testing.T) {
 		t.Errorf("server counted %d oks, client saw %d", st.OK, res.OK)
 	}
 }
+
+func TestZipfMixSkewsWeights(t *testing.T) {
+	base := HospitalMix()
+	z := ZipfMix(base, 1.2)
+	if len(z) != len(base) {
+		t.Fatalf("ZipfMix changed entry count: %d != %d", len(z), len(base))
+	}
+	for i := range z {
+		if z[i].Name != base[i].Name || z[i].Class != base[i].Class || z[i].Query != base[i].Query {
+			t.Errorf("entry %d identity changed: %+v", i, z[i])
+		}
+		if z[i].Weight < 1 {
+			t.Errorf("entry %d weight %d < 1", i, z[i].Weight)
+		}
+		if i > 0 && z[i].Weight > z[i-1].Weight {
+			t.Errorf("weights not nonincreasing at %d: %d > %d", i, z[i].Weight, z[i-1].Weight)
+		}
+	}
+	if z[0].Weight <= z[len(z)-1].Weight {
+		t.Errorf("no skew: head weight %d, tail weight %d", z[0].Weight, z[len(z)-1].Weight)
+	}
+	// The head entry must dominate: with s=1.2 it should carry several
+	// times the traffic share of any tail entry.
+	if z[0].Weight < 4*z[len(z)-1].Weight {
+		t.Errorf("head weight %d not >= 4x tail weight %d", z[0].Weight, z[len(z)-1].Weight)
+	}
+	// s <= 0 is the identity.
+	same := ZipfMix(base, 0)
+	for i := range same {
+		if same[i].Weight != base[i].Weight {
+			t.Fatalf("ZipfMix(0) changed weight at %d", i)
+		}
+	}
+}

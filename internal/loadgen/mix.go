@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 )
@@ -160,6 +161,29 @@ func AdexMix() Mix {
 		Entry{Name: "q2-warranty", Weight: 2, Class: "buyer", Query: "//house/r-e.warranty | //apartment/r-e.warranty"},
 		Entry{Name: "q3-qual", Weight: 1, Class: "buyer", Query: "//buyer-info[//company-id and //contact-info]"},
 	}
+}
+
+// ZipfMix reweights a mix with Zipf-skewed popularity: entry i keeps
+// its class, query, and binding but its weight becomes round(64 /
+// (i+1)^s), floored at 1, so the leading entries dominate the traffic.
+// Real query logs are popularity-skewed — a few hot queries asked over
+// and over — and this is the workload a semantic answer cache exists
+// for; s <= 0 returns the mix unchanged (uniform default weights
+// untouched).
+func ZipfMix(m Mix, s float64) Mix {
+	if s <= 0 {
+		return m
+	}
+	out := make(Mix, len(m))
+	for i, e := range m {
+		w := int(math.Round(64 / math.Pow(float64(i+1), s)))
+		if w < 1 {
+			w = 1
+		}
+		e.Weight = w
+		out[i] = e
+	}
+	return out
 }
 
 // MixFor returns the default mix for a built-in scenario name.

@@ -5,11 +5,14 @@ import (
 	"time"
 )
 
-// Eval modes reported by the evaluator layer.
+// Eval modes reported by the evaluator layer. ModeCached means the
+// answer came from the semantic answer cache and no evaluator ran at
+// all (see internal/anscache).
 const (
 	ModeSequential = "sequential"
 	ModeParallel   = "parallel"
 	ModeIndexed    = "indexed"
+	ModeCached     = "cached"
 )
 
 // QueryMetrics is the always-on per-request accounting the pipeline
@@ -37,6 +40,10 @@ type QueryMetrics struct {
 	// layer found the class's engine already derived for the binding.
 	PlanCacheHit   bool
 	EngineCacheHit bool
+	// AnswerCacheHit is the answer-cache outcome when the engine has one
+	// enabled: "equal", "containment", or "miss" (anscache.Kind.String);
+	// empty when the cache is off.
+	AnswerCacheHit string
 
 	// EvalMode is ModeSequential, ModeParallel, or ModeIndexed — what
 	// the evaluator actually did, not what was configured (a

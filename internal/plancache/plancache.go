@@ -26,9 +26,24 @@ type Cache[V any] struct {
 	mask   uint32
 	cap    int
 
+	// flight deduplicates concurrent GetOrCompute misses per key: the
+	// first miss becomes the leader and computes; followers block on the
+	// leader's call and share its result. Guarded by flightMu, which is
+	// never held while compute runs.
+	flightMu sync.Mutex
+	flight   map[string]*call[V]
+
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+}
+
+// call is one in-flight compute shared by every goroutine that missed on
+// its key while it ran.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
 }
 
 type shard[V any] struct {
@@ -55,7 +70,7 @@ func New[V any](capacity int) *Cache[V] {
 	if capacity < 2*n {
 		n = 1
 	}
-	c := &Cache[V]{shards: make([]shard[V], n), mask: uint32(n - 1), cap: capacity}
+	c := &Cache[V]{shards: make([]shard[V], n), mask: uint32(n - 1), cap: capacity, flight: make(map[string]*call[V])}
 	per := (capacity + n - 1) / n
 	for i := range c.shards {
 		c.shards[i].items = make(map[string]*list.Element)
@@ -116,21 +131,47 @@ func (c *Cache[V]) Put(key string, val V) {
 }
 
 // GetOrCompute returns the cached value for key, or computes, caches,
-// and returns it. Concurrent misses on the same key may compute more
-// than once (last Put wins); compute runs without any shard lock held,
-// so it may itself use the cache. A compute error is returned without
-// caching anything.
+// and returns it. Concurrent misses on the same key run compute exactly
+// once (per-key singleflight): the first miss computes while the others
+// wait and share its result, so a cold-start stampede of identical
+// requests cannot burn one derivation per request. compute runs without
+// any shard lock (or the flight lock) held, so it may itself use the
+// cache — but a compute that GetOrComputes its own key would deadlock,
+// where before it would have recursed forever. A compute error is
+// returned to the leader and every waiter without caching anything.
 func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (V, error) {
 	if v, ok := c.Get(key); ok {
 		return v, nil
 	}
-	v, err := compute()
-	if err != nil {
-		var zero V
-		return zero, err
+	c.flightMu.Lock()
+	if cl, inFlight := c.flight[key]; inFlight {
+		c.flightMu.Unlock()
+		<-cl.done
+		return cl.val, cl.err
 	}
-	c.Put(key, v)
-	return v, nil
+	cl := &call[V]{done: make(chan struct{})}
+	c.flight[key] = cl
+	c.flightMu.Unlock()
+
+	// Re-check the cache once leadership is held: a previous leader may
+	// have Put the value between our Get miss and taking the flight lock.
+	if v, ok := c.Get(key); ok {
+		cl.val = v
+	} else {
+		cl.val, cl.err = compute()
+		if cl.err == nil {
+			c.Put(key, cl.val)
+		}
+	}
+	c.flightMu.Lock()
+	delete(c.flight, key)
+	c.flightMu.Unlock()
+	close(cl.done)
+	if cl.err != nil {
+		var zero V
+		return zero, cl.err
+	}
+	return cl.val, nil
 }
 
 // Len returns the current number of cached entries.

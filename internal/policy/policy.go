@@ -143,8 +143,10 @@ func (c *Class) Engine(params map[string]string) (*core.Engine, error) {
 // EngineCtx is Engine with observability: a context carrying a
 // QueryMetrics carrier learns whether the engine came from the cache,
 // and a context carrying a trace span gets a "derive_engine" child span
-// on a miss (view derivation is the expensive path). As with
-// GetOrCompute, concurrent misses may derive more than once.
+// on a miss (view derivation is the expensive path). Concurrent misses
+// may derive more than once and the last Put wins (GetOrCompute
+// singleflights, but this path wants per-request metrics attribution,
+// and a duplicate derivation is harmless).
 func (c *Class) EngineCtx(ctx context.Context, params map[string]string) (*core.Engine, error) {
 	key := bindingKey(params)
 	if e, ok := c.engines.Get(key); ok {
@@ -176,6 +178,24 @@ func (c *Class) EngineCtx(ctx context.Context, params map[string]string) (*core.
 
 // EngineCacheStats reports the class's engine-cache counters.
 func (c *Class) EngineCacheStats() plancache.Stats { return c.engines.Stats() }
+
+// BumpEpoch advances the epoch of every engine currently cached for the
+// class (see core.Engine.BumpEpoch): their cached answers and
+// per-document indexes become unreachable. Engines derived afterward
+// start at epoch 0 with empty caches, which is equally safe.
+func (c *Class) BumpEpoch() {
+	c.engines.Each(func(_ string, e *core.Engine) { e.BumpEpoch() })
+}
+
+// BumpEpoch advances the epoch of every cached engine in every class.
+// Servers call it when a document is rebound (swapped, reloaded) so no
+// answer or index derived against the old tree can be served against
+// the new one — even when the new document lands at the same address.
+func (r *Registry) BumpEpoch() {
+	for _, name := range r.order {
+		r.classes[name].BumpEpoch()
+	}
+}
 
 // BindingStats is the serving counters of one cached engine (one
 // parameter binding of a class).

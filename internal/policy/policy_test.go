@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dtds"
 	"repro/internal/xmltree"
 )
@@ -209,5 +210,66 @@ func TestRegistryErrors(t *testing.T) {
 	}
 	if c, _ := r.Class("nurse"); !reflect.DeepEqual(c.Params(), []string{"wardNo"}) {
 		t.Errorf("Params = %v", c.Params())
+	}
+}
+
+// TestRegistryBumpEpochInvalidatesAnswers: after a registry-wide epoch
+// bump (a document swap), no cached answer survives — a document
+// mutated in place is re-answered from its new content.
+func TestRegistryBumpEpochInvalidatesAnswers(t *testing.T) {
+	r := NewRegistryWithConfig(dtds.Hospital(), 0, core.Config{AnswerCache: true})
+	if _, err := r.Define("nurse", dtds.NurseSpecSource); err != nil {
+		t.Fatal(err)
+	}
+	doc := ward()
+	params := map[string]string{"wardNo": "6"}
+	before, err := r.Query("nurse", params, doc, "//patient/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(texts(before), []string{"Carol", "Alice"}) {
+		t.Fatalf("pre-swap answer = %v", texts(before))
+	}
+	// Second ask is served from the answer cache.
+	if _, err := r.Query("nurse", params, doc, "//patient/name"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := r.Class("nurse")
+	e, err := c.Engine(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats().AnswerCache; s.Hits != 1 {
+		t.Fatalf("warm-up did not hit the cache: %+v", s)
+	}
+
+	// Swap the document in place: Bob moves into ward 6, so the second
+	// dept becomes visible to the ward-6 nurse.
+	moved := false
+	for _, n := range doc.Root.Children {
+		for _, pi := range n.Children {
+			for _, p := range pi.Children {
+				for _, f := range p.Children {
+					if f.Label == "wardNo" && f.Text() == "7" && p.Children[0].Text() == "Bob" {
+						f.Children[0].Data = "6"
+						moved = true
+					}
+				}
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("did not find Bob's wardNo to mutate")
+	}
+	r.BumpEpoch()
+	if got := e.Epoch(); got != 1 {
+		t.Errorf("engine epoch after registry bump = %d", got)
+	}
+	after, err := r.Query("nurse", params, doc, "//patient/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(texts(after), []string{"Carol", "Alice", "Bob"}) {
+		t.Errorf("post-swap answer = %v, want [Carol Alice Bob] — a pre-swap answer leaked", texts(after))
 	}
 }

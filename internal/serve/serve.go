@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/anscache"
 	"repro/internal/core"
 	"repro/internal/latency"
 	"repro/internal/obs"
@@ -159,6 +160,7 @@ type Server struct {
 	evalSeq      atomic.Uint64
 	evalPar      atomic.Uint64
 	evalIdx      atomic.Uint64
+	evalCached   atomic.Uint64
 	slowQueries  atomic.Uint64
 	explains     atomic.Uint64
 
@@ -246,6 +248,29 @@ func (s *Server) registerMetrics() {
 	m.CounterFunc("sv_eval_total", modeHelp, s.evalSeq.Load, obs.L("mode", obs.ModeSequential))
 	m.CounterFunc("sv_eval_total", modeHelp, s.evalPar.Load, obs.L("mode", obs.ModeParallel))
 	m.CounterFunc("sv_eval_total", modeHelp, s.evalIdx.Load, obs.L("mode", obs.ModeIndexed))
+	m.CounterFunc("sv_eval_total", modeHelp, s.evalCached.Load, obs.L("mode", obs.ModeCached))
+	// Semantic answer-cache counters, rolled up over every cached engine
+	// like the plan-cache gauges below. All four stay 0 with -anscache
+	// off, which promcheck accepts (a counter may be zero, not absent).
+	ansSum := func(pick func(anscache.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, cs := range s.reg.Stats() {
+				for _, b := range cs.Bindings {
+					n += pick(b.Engine.AnswerCache)
+				}
+			}
+			return n
+		}
+	}
+	m.CounterFunc("sv_anscache_hits_total", "Answer-cache equal hits: the incoming plan was provably the same query as a cached one.",
+		ansSum(func(a anscache.Stats) uint64 { return a.Hits }))
+	m.CounterFunc("sv_anscache_containment_hits_total", "Answer-cache containment hits: the answer was filtered from a provably containing cached result.",
+		ansSum(func(a anscache.Stats) uint64 { return a.ContainmentHits }))
+	m.CounterFunc("sv_anscache_misses_total", "Answer-cache misses: no provably-safe cached entry; the evaluator ran.",
+		ansSum(func(a anscache.Stats) uint64 { return a.Misses }))
+	m.CounterFunc("sv_anscache_evictions_total", "Answer-cache entries evicted by the LRU bound.",
+		ansSum(func(a anscache.Stats) uint64 { return a.Evictions }))
 	const rwHelp = "Cached policy engines by rewriting strategy (flat, height-free, unfold)."
 	for _, mode := range []string{"flat", "height-free", "unfold"} {
 		mode := mode
@@ -491,6 +516,8 @@ func (s *Server) observePipeline(qm *obs.QueryMetrics) {
 		s.evalSeq.Add(1)
 	case obs.ModeIndexed:
 		s.evalIdx.Add(1)
+	case obs.ModeCached:
+		s.evalCached.Add(1)
 	}
 }
 
@@ -734,6 +761,7 @@ type PipelineStats struct {
 	SequentialEvals uint64                  `json:"sequential_evals"`
 	ParallelEvals   uint64                  `json:"parallel_evals"`
 	IndexedEvals    uint64                  `json:"indexed_evals"`
+	CachedEvals     uint64                  `json:"cached_evals"`
 	Phases          map[string]LatencyStats `json:"phases"`
 }
 
@@ -792,6 +820,7 @@ func (s *Server) Stats() Statsz {
 				SequentialEvals: s.evalSeq.Load(),
 				ParallelEvals:   s.evalPar.Load(),
 				IndexedEvals:    s.evalIdx.Load(),
+				CachedEvals:     s.evalCached.Load(),
 				Phases:          phases,
 			},
 		},

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # netsmoke drives a real svserve over TCP: it generates a recursive
-# (fig7) document, starts the server on loopback, runs svload against it
-# in both closed-loop and open-loop mode, asserts /explainz returns a
-# full per-phase explain for a recursive query, validates /metricsz with
-# promcheck, and finally SIGTERMs the server and requires a clean drain.
+# (fig7) document, starts the server on loopback (-anscache on), runs
+# svload against it in closed-loop, open-loop, and repeated-query
+# (Zipf-skewed) mode, asserts /explainz returns a full per-phase
+# explain for a recursive query, validates /metricsz with promcheck and
+# requires the answer cache to have served hits, and finally SIGTERMs
+# the server and requires a clean drain.
 #
 # Unlike `make loadsmoke` (in-process handler), this exercises the
 # network path: ReadHeaderTimeout, real connections, graceful shutdown.
@@ -44,7 +46,7 @@ echo "netsmoke: generating recursive fig7 document"
 echo "netsmoke: starting svserve on $BASE"
 "$WORK/bin/svserve" -builtin fig7 -doc "$WORK/fig7.xml" -addr "127.0.0.1:${PORT}" \
     -max-inflight 8 -timeout 250ms -read-header-timeout 2s -drain 10s \
-    -trace-sample 1 -slow-query 5s >"$WORK/svserve.log" 2>&1 &
+    -anscache -trace-sample 1 -slow-query 5s >"$WORK/svserve.log" 2>&1 &
 SRV_PID=$!
 
 # Wait for the server to accept connections.
@@ -65,6 +67,10 @@ echo "netsmoke: closed-loop svload over TCP"
 
 echo "netsmoke: open-loop svload over TCP (fixed 200 rps point)"
 "$WORK/bin/svload" -url "$BASE" -builtin fig7 -rates 200 -duration 500ms \
+    -timeout 250ms -out /dev/null -q
+
+echo "netsmoke: repeated-query Zipf svload over TCP (answer cache serving path)"
+"$WORK/bin/svload" -url "$BASE" -builtin fig7 -zipf 1.2 -levels 8 -duration 500ms \
     -timeout 250ms -out /dev/null -q
 
 echo "netsmoke: large-document scenario (structural index serving path)"
@@ -99,6 +105,10 @@ curl -fsS "$BASE/metricsz" >"$WORK/metrics.txt" || fail "/metricsz request faile
 "$WORK/bin/promcheck" "$WORK/metrics.txt" || fail "/metricsz failed promcheck"
 grep -q '^sv_phase_duration_seconds_count{phase="rewrite"}' "$WORK/metrics.txt" ||
     fail "/metricsz missing per-phase histogram"
+# The Zipf-skewed run repeats hot queries, so the answer cache must have
+# served some of them.
+awk '$1 == "sv_anscache_hits_total" { v = $2 } END { exit !(v > 0) }' "$WORK/metrics.txt" ||
+    fail "/metricsz sv_anscache_hits_total not > 0 after repeated-query run"
 
 echo "netsmoke: draining (SIGTERM)"
 curl -fsS "$BASE/healthz" >/dev/null || fail "healthz not OK before drain"
