@@ -22,11 +22,15 @@ bench:
 # bench-smoke runs the serving-relevant benchmarks once each — no
 # timings asserted, just "they still build, run, and agree" (the
 # indexed benchmarks cross-check their evaluators' result counts).
-# CI runs this so a refactor cannot silently break the benchmark
-# harness between loadbench refreshes.
+# -benchmem is on so a single run already shows allocs/op: the ordinal
+# bitset path is an allocation-budget feature, and its regressions are
+# visible in allocs/op long before they show up in wall time. CI runs
+# this so a refactor cannot silently break the benchmark harness
+# between loadbench refreshes.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkPlanCache|BenchmarkDeepDescendant|BenchmarkHeightSweep' -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkPlanCache|BenchmarkDeepDescendant|BenchmarkHeightSweep' -benchmem -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkRecEval' -benchmem -benchtime 1x ./internal/xpath
 
 # loadsmoke drives the in-process hospital server through a short ramp
 # and fails (exit 2) if overload is reached without the admitted-latency

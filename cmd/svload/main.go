@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -131,6 +132,14 @@ func main() {
 		rep.DocNodes, rep.DocHeight = doc.Size(), doc.Height()
 	}
 
+	// Allocation accounting only makes sense in-process: settle the heap
+	// first so the deltas measure the load, not scenario construction.
+	var memBefore runtime.MemStats
+	if srv != nil {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
+
 	base := loadgen.Config{Mix: mix, Duration: *duration, Timeout: *timeout, RejectBackoff: *backoff, Seed: *seed}
 	ctx := context.Background()
 	if *rates != "" {
@@ -158,6 +167,9 @@ func main() {
 	if srv != nil {
 		st := srv.Stats().Server
 		rep.Server = &st
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		rep.Mem = newMemReport(memBefore, memAfter, st.Requests)
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -200,6 +212,34 @@ type report struct {
 	Levels      []loadgen.Result   `json:"levels"`
 	Finding     finding            `json:"finding"`
 	Server      *serve.ServerStats `json:"server_stats,omitempty"`
+	Mem         *memReport         `json:"mem_stats,omitempty"`
+}
+
+// memReport is the in-process allocation cost of serving the whole run:
+// runtime.MemStats deltas from just before the first level (post-GC) to
+// just after the last, normalized per admitted request. The ordinal
+// bitset work is judged on this section — a representation change that
+// moves allocs_per_request or gc_cycles shows up here without needing a
+// profiler.
+type memReport struct {
+	GCCycles        uint32  `json:"gc_cycles"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	Mallocs         uint64  `json:"mallocs"`
+	AllocsPerReq    float64 `json:"allocs_per_request"`
+	BytesPerReq     float64 `json:"bytes_per_request"`
+}
+
+func newMemReport(before, after runtime.MemStats, requests uint64) *memReport {
+	m := &memReport{
+		GCCycles:        after.NumGC - before.NumGC,
+		TotalAllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Mallocs:         after.Mallocs - before.Mallocs,
+	}
+	if requests > 0 {
+		m.AllocsPerReq = float64(m.Mallocs) / float64(requests)
+		m.BytesPerReq = float64(m.TotalAllocBytes) / float64(requests)
+	}
+	return m
 }
 
 // finding is the overload verdict: at the most-rejecting level, is the

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/nodeset"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -106,12 +107,50 @@ type shard struct {
 	cap   int
 }
 
+// entry is one cached answer. Answers over compacted documents are
+// stored as ordinal bitsets (set/doc/gen) — a 10k-node document's
+// answer is ~1.3KB regardless of result size, hits materialize in
+// O(words + result) with no per-entry pointer slice to copy, and
+// containment filtering iterates ordinals directly. Answers whose
+// nodes are not uniformly owned by one compacted document keep the
+// pointer-slice form (nodes). Sets here are always unpooled clones:
+// entries outlive evaluations, so they must never re-enter the
+// evaluator's scratch pool.
 type entry struct {
 	key   string // group + "\x00" + text
 	group string
 	text  string
 	plan  xpath.Path
-	nodes []*xmltree.Node
+	nodes []*xmltree.Node // slice form; nil when set != nil
+	set   *nodeset.Set    // ordinal form over doc's arena
+	doc   *xmltree.Document
+	gen   uint64 // doc.Generation() at Put time
+}
+
+// fresh reports whether an ordinal entry's bitset still describes the
+// document: a Renumber since Put (arena swap, mutation) may reassign
+// ordinals, making the set meaningless. Slice entries are always
+// fresh — their pointers stay valid, and the group key's epoch handles
+// logical staleness. This is defense in depth behind the epoch: an
+// epoch bump already abandons the group.
+func (en *entry) fresh() bool {
+	return en.set == nil || en.doc.Generation() == en.gen
+}
+
+// answer materializes the cached node-set as a fresh slice the caller
+// owns. Callers must check fresh() first.
+func (en *entry) answer() []*xmltree.Node {
+	if en.set == nil {
+		return copyNodes(en.nodes)
+	}
+	k := en.set.Count()
+	if k == 0 {
+		return nil
+	}
+	byOrd := en.doc.Nodes()
+	out := make([]*xmltree.Node, 0, k)
+	en.set.ForEach(func(ord int) { out = append(out, byOrd[ord]) })
+	return out
 }
 
 // New returns a cache holding at most capacity entries. A non-positive
@@ -155,18 +194,22 @@ func (c *Cache) Lookup(ctx context.Context, group, text string, plan xpath.Path,
 
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
-		s.order.MoveToFront(el)
-		nodes := copyNodes(el.Value.(*entry).nodes)
-		s.mu.Unlock()
-		c.hits.Add(1)
-		return nodes, KindEqual, nil
+		if en := el.Value.(*entry); en.fresh() {
+			s.order.MoveToFront(el)
+			nodes := en.answer()
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return nodes, KindEqual, nil
+		}
+		// A stale ordinal entry (document renumbered since Put) must not
+		// be served; fall through to the miss path.
 	}
 	// Exact key missed; snapshot the most recently used same-group
 	// candidates so the containment proofs run without the lock held.
 	// Entries are immutable once inserted, so the refs stay valid.
 	var cands []*entry
 	for el := s.order.Front(); el != nil && len(cands) < scanLimit; el = el.Next() {
-		if en := el.Value.(*entry); en.group == group {
+		if en := el.Value.(*entry); en.group == group && en.fresh() {
 			cands = append(cands, en)
 		}
 	}
@@ -176,7 +219,7 @@ func (c *Cache) Lookup(ctx context.Context, group, text string, plan xpath.Path,
 	for _, cand := range cands {
 		if prover.Equivalent(plan, cand.plan) {
 			c.hits.Add(1)
-			return copyNodes(cand.nodes), KindEqual, nil
+			return cand.answer(), KindEqual, nil
 		}
 		if len(quals) == 0 || !prover.Equivalent(base, cand.plan) {
 			continue
@@ -184,23 +227,37 @@ func (c *Cache) Lookup(ctx context.Context, group, text string, plan xpath.Path,
 		// cand's answer is exactly base's answer; the incoming plan keeps
 		// the nodes satisfying every trailing qualifier. A no-survivor
 		// filter returns nil, matching what the evaluator reports for an
-		// empty result.
+		// empty result. Ordinal entries filter straight off the bitset —
+		// ascending ordinal iteration is document order, so no slice is
+		// materialized for the candidates that do not survive.
 		var out []*xmltree.Node
-		for _, n := range cand.nodes {
-			keep := true
+		var qerr error
+		filter := func(n *xmltree.Node) bool {
 			for _, q := range quals {
 				ok, err := xpath.EvalQualCtx(ctx, q, n)
 				if err != nil {
-					return nil, KindMiss, err
+					qerr = err
+					return false
 				}
 				if !ok {
-					keep = false
+					return true
+				}
+			}
+			out = append(out, n)
+			return true
+		}
+		if cand.set != nil {
+			byOrd := cand.doc.Nodes()
+			cand.set.ForEachUntil(func(ord int) bool { return filter(byOrd[ord]) })
+		} else {
+			for _, n := range cand.nodes {
+				if !filter(n) {
 					break
 				}
 			}
-			if keep {
-				out = append(out, n)
-			}
+		}
+		if qerr != nil {
+			return nil, KindMiss, qerr
 		}
 		c.containmentHits.Add(1)
 		return out, KindContainment, nil
@@ -210,17 +267,27 @@ func (c *Cache) Lookup(ctx context.Context, group, text string, plan xpath.Path,
 }
 
 // Put caches an evaluated answer. Oversized results are dropped (see
-// maxNodes). The nodes slice is copied; the node pointers themselves
-// are shared with the document, which the group key pins logically (an
-// epoch bump abandons the group) — callers purge on epoch bumps to
-// reclaim the memory too.
+// maxNodes). Answers over one compacted document are stored as an
+// ordinal bitset stamped with the document's generation; anything else
+// copies the nodes slice. Either way the entry shares the document's
+// nodes, which the group key pins logically (an epoch bump abandons
+// the group) — callers purge on epoch bumps to reclaim the memory too.
 func (c *Cache) Put(group, text string, plan xpath.Path, nodes []*xmltree.Node) {
 	if len(nodes) > maxNodes {
 		return
 	}
 	s := c.shardFor(group)
 	key := group + "\x00" + text
-	en := &entry{key: key, group: group, text: text, plan: plan, nodes: copyNodes(nodes)}
+	en := &entry{key: key, group: group, text: text, plan: plan}
+	if d := ordinalOwner(nodes); d != nil {
+		set := nodeset.New(d.Size())
+		for _, n := range nodes {
+			set.Add(n.Ord())
+		}
+		en.set, en.doc, en.gen = set, d, d.Generation()
+	} else {
+		en.nodes = copyNodes(nodes)
+	}
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
 		// Replace wholesale: entries are immutable, so concurrent Lookups
@@ -312,6 +379,25 @@ func splitQuals(p xpath.Path) (xpath.Path, []xpath.Qual) {
 		return xpath.Seq{Left: p.Left, Right: base}, quals
 	}
 	return p, nil
+}
+
+// ordinalOwner returns the compacted document owning every node, or
+// nil when the answer cannot take the ordinal form (empty, detached or
+// stale nodes, uncompacted or mixed documents).
+func ordinalOwner(nodes []*xmltree.Node) *xmltree.Document {
+	if len(nodes) == 0 {
+		return nil
+	}
+	d := nodes[0].Owner()
+	if d == nil || !d.Compacted() {
+		return nil
+	}
+	for _, n := range nodes[1:] {
+		if n.Owner() != d {
+			return nil
+		}
+	}
+	return d
 }
 
 // copyNodes snapshots a result slice so cache-internal storage and

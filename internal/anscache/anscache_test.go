@@ -222,3 +222,97 @@ func TestSplitQuals(t *testing.T) {
 		t.Errorf("unqualified plan split wrong")
 	}
 }
+
+// TestOrdinalEntryStorage: answers over a compacted document are stored
+// as ordinal bitsets (not node slices), and a hit materializes exactly
+// the original nodes.
+func TestOrdinalEntryStorage(t *testing.T) {
+	c := New(8)
+	doc := hospitalDoc(t)
+	if !doc.Compacted() {
+		t.Fatal("generated document is not compacted")
+	}
+	p := xpath.MustParse("//patient")
+	want := xpath.EvalDoc(p, doc)
+	c.Put("g", xpath.String(p), p, want)
+
+	sh := c.shardFor("g")
+	sh.mu.Lock()
+	var en *entry
+	for _, el := range sh.items {
+		en = el.Value.(*entry)
+	}
+	sh.mu.Unlock()
+	if en == nil {
+		t.Fatal("entry not stored")
+	}
+	if en.set == nil || en.nodes != nil {
+		t.Fatalf("compacted-document answer stored as slice (set=%v nodes=%d)", en.set != nil, len(en.nodes))
+	}
+	got, kind := lookupMust(t, c, "g", p, neverProver{})
+	if kind != KindEqual {
+		t.Fatalf("kind = %v, want equal", kind)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("materialized node %d differs", i)
+		}
+	}
+}
+
+// TestOrdinalEntryStaleAfterRenumber: an ordinal entry is defined by the
+// numbering that existed at Put time. Once the document renumbers (tree
+// mutation, arena swap), the stored ordinals may denote different nodes,
+// so the entry must stop answering — on the exact-key path AND on the
+// prover-driven candidate scan. This is defense in depth behind the
+// epoch-carrying group key, which test code here deliberately holds
+// fixed.
+func TestOrdinalEntryStaleAfterRenumber(t *testing.T) {
+	c := New(8)
+	doc := hospitalDoc(t)
+	prover := optimize.New(dtds.Hospital())
+	cached := xpath.MustParse("dept | //bill")
+	c.Put("g", xpath.String(cached), cached, xpath.EvalDoc(cached, doc))
+	if _, kind := lookupMust(t, c, "g", cached, neverProver{}); kind != KindEqual {
+		t.Fatal("warm entry does not hit before the mutation")
+	}
+
+	// Mutate the tree and renumber: every stored ordinal is now suspect.
+	doc.Root.Children[0].AppendChild(xmltree.NewElement("annex"))
+	doc.Renumber()
+
+	if _, kind := lookupMust(t, c, "g", cached, neverProver{}); kind != KindMiss {
+		t.Fatal("stale ordinal entry served via the exact key")
+	}
+	// The commuted form would hit via the equivalence prover if the
+	// candidate scan ignored freshness.
+	commuted := xpath.MustParse("//bill | dept")
+	if _, kind := lookupMust(t, c, "g", commuted, prover); kind != KindMiss {
+		t.Fatal("stale ordinal entry served via the candidate scan")
+	}
+
+	// Re-populating against the new numbering works immediately.
+	fresh := xpath.EvalDoc(cached, doc)
+	c.Put("g", xpath.String(cached), cached, fresh)
+	got, kind := lookupMust(t, c, "g", cached, neverProver{})
+	if kind != KindEqual || len(got) != len(fresh) {
+		t.Fatalf("re-put entry: kind=%v n=%d want %d", kind, len(got), len(fresh))
+	}
+}
+
+// TestOrdinalEntryStaleAfterCompact: Compact replaces every node with
+// its arena twin; the swap must invalidate ordinal entries just like
+// any other renumbering (the old pointers are no longer in the
+// document).
+func TestOrdinalEntryStaleAfterCompact(t *testing.T) {
+	c := New(8)
+	doc := hospitalDoc(t)
+	p := xpath.MustParse("//patient")
+	c.Put("g", xpath.String(p), p, xpath.EvalDoc(p, doc))
+
+	doc.Compact() // arena swap: new node identities, new generation
+
+	if _, kind := lookupMust(t, c, "g", p, neverProver{}); kind != KindMiss {
+		t.Fatal("ordinal entry survived an arena swap")
+	}
+}

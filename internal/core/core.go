@@ -197,6 +197,7 @@ type Engine struct {
 	cancelled    atomic.Uint64
 	evalStats    xpath.ParallelStats
 	indexedEvals atomic.Uint64
+	ordinalEvals atomic.Uint64
 }
 
 // New derives the security view for a bound access specification (no
@@ -441,6 +442,7 @@ func (e *Engine) QueryCtx(ctx context.Context, doc *xmltree.Document, p xpath.Pa
 		if kind != anscache.KindMiss {
 			if qm := obs.QueryMetricsFromContext(ctx); qm != nil {
 				qm.EvalMode = obs.ModeCached
+				qm.SetRepr = setRepr(doc)
 			}
 			return out, nil
 		}
@@ -512,6 +514,9 @@ func (e *Engine) evalPrepared(ctx context.Context, prep *Prepared, doc *xmltree.
 	qm := obs.QueryMetricsFromContext(ctx)
 	_, sp := obs.StartSpan(ctx, "eval")
 	indexed := e.indexApplicable(prep, doc)
+	if xpath.OrdinalApplicable(doc) {
+		e.ordinalEvals.Add(1)
+	}
 	if qm == nil && sp == nil {
 		if indexed {
 			e.indexedEvals.Add(1)
@@ -564,13 +569,24 @@ func (e *Engine) evalPrepared(ctx context.Context, prep *Prepared, doc *xmltree.
 	if qm != nil {
 		qm.Eval = time.Since(start)
 		qm.EvalMode = mode
+		qm.SetRepr = setRepr(doc)
 	}
 	if sp != nil {
 		sp.SetAttr("mode", mode)
+		sp.SetAttr("set_repr", setRepr(doc))
 		sp.SetAttr("result_count", len(out))
 		sp.Finish()
 	}
 	return out, err
+}
+
+// setRepr names the node-set representation evaluation over doc uses —
+// the compaction gate, rendered for metrics labels.
+func setRepr(doc *xmltree.Document) string {
+	if xpath.OrdinalApplicable(doc) {
+		return obs.ReprBitset
+	}
+	return obs.ReprSlice
 }
 
 // QueryString is Query with parsing.
@@ -755,6 +771,9 @@ type Stats struct {
 	IndexedEvals    uint64 `json:"indexed_evals"`
 	UnionForks      uint64 `json:"union_forks"`
 	Partitions      uint64 `json:"partitions"`
+	// OrdinalEvals counts evaluations that passed the compaction gate
+	// and ran over ordinal bitsets (any mode; see internal/nodeset).
+	OrdinalEvals uint64 `json:"ordinal_evals"`
 	// OptimizeRules and OptimizePruned count the optimizer's DTD-driven
 	// simplification decisions and the subtrees they removed (see
 	// optimize.Optimizer.Stats).
@@ -787,6 +806,7 @@ func (e *Engine) Stats() Stats {
 		IndexedEvals:           e.indexedEvals.Load(),
 		UnionForks:             forks,
 		Partitions:             parts,
+		OrdinalEvals:           e.ordinalEvals.Load(),
 		OptimizeRules:          rules,
 		OptimizePruned:         pruned,
 	}

@@ -15,6 +15,14 @@ const (
 	ModeCached     = "cached"
 )
 
+// Set representations reported by the evaluator layer: ReprBitset when
+// the document is compacted and node sets evaluate as ordinal bitsets
+// (see internal/nodeset), ReprSlice for the pointer-slice path.
+const (
+	ReprBitset = "bitset"
+	ReprSlice  = "slice"
+)
+
 // QueryMetrics is the always-on per-request accounting the pipeline
 // layers write into: per-phase durations, cache outcomes, the chosen
 // eval mode, and query shape numbers. The server installs one per
@@ -51,6 +59,11 @@ type QueryMetrics struct {
 	// an indexed-configured one walks small documents and
 	// child-axis-only queries).
 	EvalMode string
+	// SetRepr is the node-set representation evaluation used: ReprBitset
+	// on compacted documents (ordinal bitsets, pooled scratch) or
+	// ReprSlice otherwise. For cached answers it reports the
+	// representation the answer is stored in.
+	SetRepr string
 	// NodesVisited counts the sequential or indexed evaluator's
 	// cooperation ticks (one per path step plus one per node in the hot
 	// loops) — a work-done proxy. Zero for parallel evaluations, which

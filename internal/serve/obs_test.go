@@ -82,8 +82,13 @@ func TestMetricszExposition(t *testing.T) {
 	if misses != 1 {
 		t.Errorf("plan-cache misses = %d, want 1 (one distinct query)", misses)
 	}
-	if got := metricValue(t, body, `sv_eval_total{mode="sequential"}`); got != pipeline {
-		t.Errorf("sequential evals = %d, want %d", got, pipeline)
+	// The test document comes from xmlgen, so it is compacted and every
+	// sequential eval runs on the ordinal bitset representation.
+	if got := metricValue(t, body, `sv_eval_total{mode="sequential",repr="bitset"}`); got != pipeline {
+		t.Errorf("sequential bitset evals = %d, want %d", got, pipeline)
+	}
+	if got := metricValue(t, body, `sv_eval_total{mode="sequential",repr="slice"}`); got != 0 {
+		t.Errorf("sequential slice evals = %d, want 0 on a compacted document", got)
 	}
 	if got := metricValue(t, body, "sv_request_duration_seconds_count"); got != n {
 		t.Errorf("request histogram count = %d, want %d (admitted requests only)", got, n)
@@ -109,6 +114,9 @@ func TestStatszPipelineSection(t *testing.T) {
 	}
 	if p.SequentialEvals != 3 || p.ParallelEvals != 0 {
 		t.Errorf("eval modes = %d seq / %d par", p.SequentialEvals, p.ParallelEvals)
+	}
+	if p.BitsetEvals != 3 || p.SliceEvals != 0 {
+		t.Errorf("eval reprs = %d bitset / %d slice, want 3/0 on a compacted document", p.BitsetEvals, p.SliceEvals)
 	}
 	for _, phase := range []string{"rewrite", "optimize", "eval"} {
 		lat, ok := p.Phases[phase]

@@ -157,12 +157,13 @@ type Server struct {
 	planMisses   atomic.Uint64
 	engineHits   atomic.Uint64
 	engineMisses atomic.Uint64
-	evalSeq      atomic.Uint64
-	evalPar      atomic.Uint64
-	evalIdx      atomic.Uint64
-	evalCached   atomic.Uint64
-	slowQueries  atomic.Uint64
-	explains     atomic.Uint64
+	// evalCounts is the completed-pipeline eval matrix, indexed
+	// [mode][repr] per evalModes/evalReprs — every sv_eval_total series
+	// carries both the eval mode and the node-set representation, and
+	// the /statsz per-mode counters are row sums of the same atomics.
+	evalCounts  [len(evalModes)][len(evalReprs)]atomic.Uint64
+	slowQueries atomic.Uint64
+	explains    atomic.Uint64
 
 	// query answers one admitted request; it defaults to the registry's
 	// QueryCtx and exists so tests can inject evaluation failures.
@@ -244,11 +245,13 @@ func (s *Server) registerMetrics() {
 	const engineHelp = "Per-binding engine-cache outcomes for completed pipelines."
 	m.CounterFunc("sv_engine_cache_total", engineHelp, s.engineHits.Load, obs.L("result", "hit"))
 	m.CounterFunc("sv_engine_cache_total", engineHelp, s.engineMisses.Load, obs.L("result", "miss"))
-	const modeHelp = "Completed pipelines by the eval mode actually taken."
-	m.CounterFunc("sv_eval_total", modeHelp, s.evalSeq.Load, obs.L("mode", obs.ModeSequential))
-	m.CounterFunc("sv_eval_total", modeHelp, s.evalPar.Load, obs.L("mode", obs.ModeParallel))
-	m.CounterFunc("sv_eval_total", modeHelp, s.evalIdx.Load, obs.L("mode", obs.ModeIndexed))
-	m.CounterFunc("sv_eval_total", modeHelp, s.evalCached.Load, obs.L("mode", obs.ModeCached))
+	const modeHelp = "Completed pipelines by the eval mode actually taken and the node-set representation (repr) evaluation used."
+	for mi := range evalModes {
+		for ri := range evalReprs {
+			m.CounterFunc("sv_eval_total", modeHelp, s.evalCounts[mi][ri].Load,
+				obs.L("mode", evalModes[mi]), obs.L("repr", evalReprs[ri]))
+		}
+	}
 	// Semantic answer-cache counters, rolled up over every cached engine
 	// like the plan-cache gauges below. All four stay 0 with -anscache
 	// off, which promcheck accepts (a counter may be zero, not absent).
@@ -509,16 +512,53 @@ func (s *Server) observePipeline(qm *obs.QueryMetrics) {
 	} else {
 		s.engineMisses.Add(1)
 	}
-	switch qm.EvalMode {
-	case obs.ModeParallel:
-		s.evalPar.Add(1)
-	case obs.ModeSequential:
-		s.evalSeq.Add(1)
-	case obs.ModeIndexed:
-		s.evalIdx.Add(1)
-	case obs.ModeCached:
-		s.evalCached.Add(1)
+	if mi := evalModeIndex(qm.EvalMode); mi >= 0 {
+		s.evalCounts[mi][reprIndex(qm.SetRepr)].Add(1)
 	}
+}
+
+// evalModes and evalReprs order the eval-counter matrix; indexes are
+// resolved by evalModeIndex/reprIndex.
+var (
+	evalModes = [...]string{obs.ModeSequential, obs.ModeParallel, obs.ModeIndexed, obs.ModeCached}
+	evalReprs = [...]string{obs.ReprSlice, obs.ReprBitset}
+)
+
+func evalModeIndex(mode string) int {
+	for i, m := range evalModes {
+		if m == mode {
+			return i
+		}
+	}
+	return -1
+}
+
+// reprIndex defaults to the slice row: a pipeline that never reported
+// a representation ran some path outside the compaction gate.
+func reprIndex(repr string) int {
+	if repr == obs.ReprBitset {
+		return 1
+	}
+	return 0
+}
+
+// evalModeTotal sums one mode's row across representations — the
+// /statsz per-mode counters, unchanged by the repr split.
+func (s *Server) evalModeTotal(mi int) uint64 {
+	var n uint64
+	for ri := range evalReprs {
+		n += s.evalCounts[mi][ri].Load()
+	}
+	return n
+}
+
+// evalReprTotal sums one representation's column across modes.
+func (s *Server) evalReprTotal(ri int) uint64 {
+	var n uint64
+	for mi := range evalModes {
+		n += s.evalCounts[mi][ri].Load()
+	}
+	return n
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -762,6 +802,8 @@ type PipelineStats struct {
 	ParallelEvals   uint64                  `json:"parallel_evals"`
 	IndexedEvals    uint64                  `json:"indexed_evals"`
 	CachedEvals     uint64                  `json:"cached_evals"`
+	BitsetEvals     uint64                  `json:"bitset_evals"`
+	SliceEvals      uint64                  `json:"slice_evals"`
 	Phases          map[string]LatencyStats `json:"phases"`
 }
 
@@ -817,10 +859,12 @@ func (s *Server) Stats() Statsz {
 				PlanCacheMisses: s.planMisses.Load(),
 				EngineHits:      s.engineHits.Load(),
 				EngineMisses:    s.engineMisses.Load(),
-				SequentialEvals: s.evalSeq.Load(),
-				ParallelEvals:   s.evalPar.Load(),
-				IndexedEvals:    s.evalIdx.Load(),
-				CachedEvals:     s.evalCached.Load(),
+				SequentialEvals: s.evalModeTotal(0),
+				ParallelEvals:   s.evalModeTotal(1),
+				IndexedEvals:    s.evalModeTotal(2),
+				CachedEvals:     s.evalModeTotal(3),
+				BitsetEvals:     s.evalReprTotal(1),
+				SliceEvals:      s.evalReprTotal(0),
 				Phases:          phases,
 			},
 		},

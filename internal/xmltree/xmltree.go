@@ -236,6 +236,7 @@ type Document struct {
 	height  int
 	byOrd   []*Node
 	compact bool
+	gen     uint64
 }
 
 // NewDocument wraps a root node into a document and assigns document
@@ -252,6 +253,7 @@ func NewDocument(root *Node) *Document {
 // rebuilds the byOrd node table and caches the document height, so both
 // are as fresh as the numbering itself.
 func (d *Document) Renumber() {
+	d.gen++
 	d.byOrd = d.byOrd[:0]
 	d.height = 0
 	var walk func(node *Node, depth int) int
@@ -275,6 +277,14 @@ func (d *Document) Renumber() {
 
 // Size returns the number of nodes in the document (elements + text).
 func (d *Document) Size() int { return d.size }
+
+// Generation counts Renumber calls on this document. Ordinal-keyed
+// storage that outlives one evaluation (the answer cache's bitsets)
+// records the generation it was built against and treats a mismatch as
+// stale: after any renumbering the same ordinal may name a different
+// node, so a recorded ordinal set is only meaningful at its own
+// generation.
+func (d *Document) Generation() uint64 { return d.gen }
 
 // Nodes returns every node in document order. The slice is the
 // document's own node table, rebuilt by Renumber — callers must treat

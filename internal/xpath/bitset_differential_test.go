@@ -1,0 +1,303 @@
+package xpath_test
+
+// Differential property suite for the ordinal (bitset) evaluation path:
+// on randomized (DTD, document, query) triples, evaluating over a
+// compacted document — which takes the bitset path — must agree exactly
+// with evaluating over an uncompacted structural twin of the same tree,
+// which takes the pointer-slice path. Structural twins get identical
+// preorder numbering, so agreement is checked ordinal by ordinal. The
+// suite also pins the two safety edges of the representation gate: a
+// detached (never-renumbered) context falls back to the slice path with
+// the same answers, and ordinal answer-cache entries die with the
+// numbering that defined them when the arena is swapped out underneath
+// them (Document.Generation).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/xmlgen"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// sliceTwin builds an uncompacted document with the exact node
+// structure of doc. Renumbering assigns both trees the same preorder
+// ordinals, but the twin fails the Compacted() gate, so it always
+// evaluates over node slices.
+func sliceTwin(t *testing.T, doc *xmltree.Document) *xmltree.Document {
+	t.Helper()
+	twin := xmltree.NewDocument(doc.Root.Clone())
+	if twin.Size() != doc.Size() {
+		t.Fatalf("twin size %d != doc size %d", twin.Size(), doc.Size())
+	}
+	if xpath.OrdinalApplicable(twin) {
+		t.Fatal("structural twin must not pass the ordinal gate")
+	}
+	if !xpath.OrdinalApplicable(doc) {
+		t.Fatal("generated document must pass the ordinal gate")
+	}
+	return twin
+}
+
+// assertSameOrds fails unless got and want are the same nodes by
+// preorder ordinal and label — the cross-document equality for
+// structural twins.
+func assertSameOrds(t *testing.T, label string, got, want []*xmltree.Node) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d nodes, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Ord() != want[i].Ord() || got[i].Label != want[i].Label {
+			t.Fatalf("%s: node %d is ord %d (%s), want ord %d (%s)",
+				label, i, got[i].Ord(), got[i].Label, want[i].Ord(), want[i].Label)
+		}
+	}
+}
+
+// TestDifferentialBitsetVsSlice sweeps ~200 randomized (DTD, document,
+// query) triples through both representations: the compacted document
+// takes the bitset path for sequential and indexed evaluation, its
+// uncompacted twin takes the slice path, and the two must agree at the
+// root and at random subcontexts.
+func TestDifferentialBitsetVsSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(20260808))
+	triples := 0
+	for triples < 200 {
+		src := randomDTDSource(r)
+		d, err := dtd.Parse(src)
+		if err != nil {
+			t.Fatalf("random DTD does not parse: %v\n%s", err, src)
+		}
+		doc := xmlgen.Generate(d, xmlgen.Config{
+			Seed:      r.Int63(),
+			MinRepeat: 1,
+			MaxRepeat: 2 + r.Intn(3),
+			MaxDepth:  6,
+		})
+		if doc.Size() > 1500 {
+			continue // see TestDifferentialParallelVsSequential
+		}
+		twin := sliceTwin(t, doc)
+		idx := xpath.NewIndex(doc)
+		labels := append(d.Types(), xpath.TextName)
+		for q := 0; q < 5; q++ {
+			triples++
+			p := randPath(r, labels, 3)
+			want, err := xpath.EvalDocErr(p, twin)
+			if err != nil {
+				t.Fatalf("slice eval error on %s: %v", xpath.String(p), err)
+			}
+			assertSortedUnique(t, "slice "+xpath.String(p), want)
+
+			got, err := xpath.EvalDocErr(p, doc)
+			if err != nil {
+				t.Fatalf("bitset eval error on %s: %v", xpath.String(p), err)
+			}
+			assertSortedUnique(t, "bitset "+xpath.String(p), got)
+			assertSameOrds(t, "bitset ≠ slice on "+xpath.String(p)+"\nDTD:\n"+src, got, want)
+
+			gotIdx, err := xpath.EvalIndexedErr(p, idx)
+			if err != nil {
+				t.Fatalf("indexed bitset eval error on %s: %v", xpath.String(p), err)
+			}
+			assertSameOrds(t, "indexed bitset ≠ slice on "+xpath.String(p), gotIdx, want)
+
+			// Subcontext leg: the same random ordinals as context in both
+			// documents (duplicates and ancestor/descendant overlap
+			// included) exercise the interval fills away from the root.
+			ctx := make([]*xmltree.Node, 1+r.Intn(4))
+			twinCtx := make([]*xmltree.Node, len(ctx))
+			for i := range ctx {
+				ord := r.Intn(doc.Size())
+				ctx[i] = doc.Nodes()[ord]
+				twinCtx[i] = twin.Nodes()[ord]
+			}
+			wantAt, err := xpath.EvalAtErr(p, twinCtx)
+			if err != nil {
+				t.Fatalf("slice EvalAt error on %s: %v", xpath.String(p), err)
+			}
+			gotAt, err := xpath.EvalAtErr(p, ctx)
+			if err != nil {
+				t.Fatalf("bitset EvalAt error on %s: %v", xpath.String(p), err)
+			}
+			assertSameOrds(t, "bitset@ctx ≠ slice@ctx on "+xpath.String(p), gotAt, wantAt)
+		}
+	}
+}
+
+// TestDifferentialRecBitsetVsSlice runs randomized recursive-view plans
+// (Rec product search) through both representations. The automaton
+// descends through arbitrary labels and accepts at a randomly chosen
+// one, so the per-state bitset visited rows see real sharing and
+// re-visits.
+func TestDifferentialRecBitsetVsSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(20260809))
+	for trial := 0; trial < 40; trial++ {
+		src := randomDTDSource(r)
+		d, err := dtd.Parse(src)
+		if err != nil {
+			t.Fatalf("random DTD does not parse: %v\n%s", err, src)
+		}
+		doc := xmlgen.Generate(d, xmlgen.Config{
+			Seed:      r.Int63(),
+			MinRepeat: 1,
+			MaxRepeat: 2 + r.Intn(3),
+			MaxDepth:  6,
+		})
+		if doc.Size() > 1500 {
+			continue
+		}
+		twin := sliceTwin(t, doc)
+		labels := append(d.Types(), xpath.TextName)
+		accept := labels[r.Intn(len(labels))]
+		g := xpath.NewRecGraph(map[string][]xpath.RecEdge{
+			"walk": {
+				{To: "walk", Sig: xpath.Wildcard{}},
+				{To: "hit", Sig: xpath.Label{Name: accept}},
+			},
+			"hit": nil,
+		})
+		rec := xpath.Rec{G: g, Start: "walk", Accept: "hit", ResultLabel: accept}
+		var plan xpath.Path = rec
+		if r.Intn(2) == 0 {
+			plan = xpath.Seq{Left: randPath(r, labels, 1), Right: rec}
+		}
+		want, err := xpath.EvalDocErr(plan, twin)
+		if err != nil {
+			t.Fatalf("slice rec eval: %v", err)
+		}
+		got, err := xpath.EvalDocErr(plan, doc)
+		if err != nil {
+			t.Fatalf("bitset rec eval: %v", err)
+		}
+		assertSameOrds(t, fmt.Sprintf("rec accept=%s trial %d", accept, trial), got, want)
+	}
+}
+
+// TestBitsetDetachedNodeFallback: context nodes that were never part of
+// a renumbered document (Owner nil) must fall back to the slice path
+// and still produce the slice path's answers. Detached nodes carry no
+// usable ordinals, so equality is checked as a multiset of label paths.
+func TestBitsetDetachedNodeFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(20260810))
+	for trial := 0; trial < 30; trial++ {
+		src := randomDTDSource(r)
+		d, err := dtd.Parse(src)
+		if err != nil {
+			t.Fatalf("random DTD does not parse: %v\n%s", err, src)
+		}
+		doc := xmlgen.Generate(d, xmlgen.Config{
+			Seed:      r.Int63(),
+			MinRepeat: 1,
+			MaxRepeat: 2,
+			MaxDepth:  5,
+		})
+		if doc.Size() > 800 {
+			continue
+		}
+		// Clone the tree and never hand it to a Document: every node is
+		// detached (Owner nil), so ordinalDoc must reject the context.
+		detached := doc.Root.Clone()
+		if detached.Owner() != nil {
+			t.Fatal("clone unexpectedly owned")
+		}
+		labels := append(d.Types(), xpath.TextName)
+		for q := 0; q < 5; q++ {
+			p := randPath(r, labels, 2)
+			want, err := xpath.EvalDocErr(p, doc)
+			if err != nil {
+				t.Fatalf("doc eval error on %s: %v", xpath.String(p), err)
+			}
+			got, err := xpath.EvalAtErr(p, []*xmltree.Node{detached})
+			if err != nil {
+				t.Fatalf("detached eval error on %s: %v", xpath.String(p), err)
+			}
+			// Without document-order numbering the slice path cannot
+			// dedup by position, so a union may repeat a pointer; the
+			// node set underneath must still match.
+			gotPaths := labelPaths(uniqueNodes(got))
+			wantPaths := labelPaths(want)
+			if len(gotPaths) != len(wantPaths) {
+				t.Fatalf("detached ≠ doc on %s: got %d nodes, want %d", xpath.String(p), len(got), len(want))
+			}
+			for i := range wantPaths {
+				if gotPaths[i] != wantPaths[i] {
+					t.Fatalf("detached ≠ doc on %s: path %d is %s, want %s",
+						xpath.String(p), i, gotPaths[i], wantPaths[i])
+				}
+			}
+		}
+	}
+}
+
+func uniqueNodes(nodes []*xmltree.Node) []*xmltree.Node {
+	seen := make(map[*xmltree.Node]bool, len(nodes))
+	out := nodes[:0:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func labelPaths(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Path()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestBitsetSurvivesArenaSwap: evaluation stays correct across
+// Compact/Renumber cycles that swap the arena and bump the generation —
+// results obtained before a swap refer to the old (still valid) nodes,
+// results after the swap to the new arena, and both agree with the
+// slice twin.
+func TestBitsetSurvivesArenaSwap(t *testing.T) {
+	r := rand.New(rand.NewSource(20260811))
+	src := randomDTDSource(r)
+	d, err := dtd.Parse(src)
+	if err != nil {
+		t.Fatalf("random DTD does not parse: %v", err)
+	}
+	doc := xmlgen.Generate(d, xmlgen.Config{Seed: 11, MinRepeat: 1, MaxRepeat: 3, MaxDepth: 5})
+	twin := sliceTwin(t, doc)
+	labels := append(d.Types(), xpath.TextName)
+	p := xpath.Descend{Sub: xpath.Label{Name: labels[0]}}
+
+	want, err := xpath.EvalDocErr(p, twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := xpath.EvalDocErr(p, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOrds(t, "pre-swap", before, want)
+
+	gen := doc.Generation()
+	doc.Compact() // swap the arena out from under any held ordinals
+	if doc.Generation() == gen {
+		t.Fatal("Compact did not advance the generation")
+	}
+	after, err := xpath.EvalDocErr(p, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOrds(t, "post-swap", after, want)
+	// The pre-swap results still point at the old tree's nodes; their
+	// labels (though not their ownership) must be unchanged.
+	for i := range before {
+		if before[i].Label != after[i].Label {
+			t.Fatalf("node %d label changed across swap: %s vs %s", i, before[i].Label, after[i].Label)
+		}
+	}
+}

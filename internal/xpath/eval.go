@@ -62,10 +62,18 @@ func EvalDocCtx(ctx context.Context, p Path, doc *xmltree.Document) ([]*xmltree.
 }
 
 // EvalAtCtx is EvalAtErr honoring a context; see EvalDocCtx.
+//
+// Contexts whose nodes all carry fresh numbering from one compacted
+// document take the ordinal (bitset) path — same results, same
+// cancellation behavior, near-zero intermediate allocation; see
+// bitset_eval.go. All other contexts evaluate over node slices.
 func EvalAtCtx(ctx context.Context, p Path, nodes []*xmltree.Node) ([]*xmltree.Node, error) {
 	e := newSeqEval(ctx)
 	if err := e.cancelled(); err != nil {
 		return nil, err
+	}
+	if d := ordinalDoc(nodes); d != nil {
+		return evalOrdinal(e, nil, d, p, nodes)
 	}
 	out, err := e.path(p, nodes)
 	if err != nil {
@@ -85,7 +93,12 @@ func EvalDocCtxCounted(ctx context.Context, p Path, doc *xmltree.Document) ([]*x
 	if err := e.cancelled(); err != nil {
 		return nil, 0, err
 	}
-	out, err := e.path(p, []*xmltree.Node{doc.Root})
+	root := []*xmltree.Node{doc.Root}
+	if d := ordinalDoc(root); d != nil {
+		out, err := evalOrdinal(e, nil, d, p, root)
+		return out, uint64(e.ticks), err
+	}
+	out, err := e.path(p, root)
 	if err != nil {
 		return nil, uint64(e.ticks), err
 	}

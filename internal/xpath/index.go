@@ -81,7 +81,12 @@ func EvalIndexedCtxCounted(ctx context.Context, p Path, idx *Index) ([]*xmltree.
 	if err := e.se.cancelled(); err != nil {
 		return nil, 0, err
 	}
-	out, err := e.eval(p, []*xmltree.Node{idx.doc.Root})
+	root := []*xmltree.Node{idx.doc.Root}
+	if d := ordinalDoc(root); d == idx.doc {
+		out, err := evalOrdinal(e.se, idx, d, p, root)
+		return out, uint64(e.se.ticks), err
+	}
+	out, err := e.eval(p, root)
 	if err != nil {
 		return nil, uint64(e.se.ticks), err
 	}
@@ -104,6 +109,12 @@ func EvalIndexedAtCtx(goCtx context.Context, p Path, idx *Index, ctx []*xmltree.
 	e := indexedEvaluator{idx: idx, se: newSeqEval(goCtx)}
 	if err := e.se.cancelled(); err != nil {
 		return nil, err
+	}
+	// The ordinal path additionally requires the context to be owned by
+	// the indexed document itself — posting lists from one document must
+	// not filter against another's ordinals.
+	if d := ordinalDoc(ctx); d != nil && d == idx.doc {
+		return evalOrdinal(e.se, idx, d, p, ctx)
 	}
 	out, err := e.eval(p, ctx)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/nodeset"
 	"repro/internal/xmltree"
 )
 
@@ -113,14 +114,26 @@ func EvalAtParallel(p Path, ctx []*xmltree.Node, cfg ParallelConfig, stats *Para
 // EvalDocParallelCtx.
 func EvalAtParallelCtx(ctx context.Context, p Path, nodes []*xmltree.Node, cfg ParallelConfig, stats *ParallelStats) ([]*xmltree.Node, error) {
 	thresh := cfg.threshold()
-	// Sort and deduplicate a copy of the context set before sizing the
-	// gate: summing subtree sizes over the raw set double-counts when
-	// callers pass duplicates or overlapping nodes (an ancestor and its
-	// descendant), which would flip the gate to parallel on inputs that
-	// are really below threshold. Evaluation itself also gets the
-	// canonical set — the same normalization EvalAtCtx's result contract
-	// implies, since evaluation distributes over context-set union.
-	nodes = xmltree.SortDocOrder(append([]*xmltree.Node(nil), nodes...))
+	// The gate and evaluation both need the canonical (sorted,
+	// deduplicated) context: summing subtree sizes over the raw set
+	// double-counts when callers pass duplicates or overlapping nodes
+	// (an ancestor and its descendant), which would flip the gate to
+	// parallel on inputs that are really below threshold. Contexts that
+	// already arrive canonical — ordinal-sorted outputs from the indexed
+	// and bitset paths, or a single root — are used as-is; only the rest
+	// pay a copy, and that copy comes from pooled scratch instead of a
+	// fresh allocation per call. The scratch is released on return:
+	// evaluation never retains or returns its context (leaf Self copies),
+	// so nothing downstream aliases it.
+	if !docOrdered(nodes) {
+		scratch := ctxScratchPool.Get().(*[]*xmltree.Node)
+		*scratch = append((*scratch)[:0], nodes...)
+		nodes = xmltree.SortDocOrder(*scratch)
+		defer func() {
+			*scratch = (*scratch)[:0]
+			ctxScratchPool.Put(scratch)
+		}()
+	}
 	size := xmltree.CoverSize(nodes)
 	if size < thresh {
 		if stats != nil {
@@ -142,7 +155,81 @@ func EvalAtParallelCtx(ctx context.Context, p Path, nodes []*xmltree.Node, cfg P
 	if err != nil {
 		return nil, err
 	}
-	return xmltree.SortDocOrder(out), nil
+	return unionDocOrder(out), nil
+}
+
+// ctxScratchPool recycles the context-copy slices EvalAtParallelCtx
+// needs for non-canonical inputs. Entries keep their capacity, so a
+// steady request mix stops growing them almost immediately.
+var ctxScratchPool = sync.Pool{New: func() any { return new([]*xmltree.Node) }}
+
+// docOrdered reports whether nodes are already canonical: strictly
+// increasing in document order, all carrying fresh numbering from one
+// document. Strict increase implies deduplication (within one
+// renumbered document an ordinal identifies its node), so a true
+// return means SortDocOrder would be the identity.
+func docOrdered(nodes []*xmltree.Node) bool {
+	if len(nodes) == 0 {
+		return true
+	}
+	d := nodes[0].Owner()
+	if d == nil {
+		return false
+	}
+	prev := -1
+	for _, n := range nodes {
+		if n.Owner() != d || n.Ord() <= prev {
+			return false
+		}
+		prev = n.Ord()
+	}
+	return true
+}
+
+// unionDocOrder merges result fragments into one sorted, deduplicated
+// slice. When every node carries fresh numbering from one compacted
+// document the merge is a pooled-bitset OR plus one ascending
+// materialization — O(total + universe/64) with a single exactly-sized
+// allocation — replacing the O(n log n) sort the slice merge pays.
+// Mixed, stale, or uncompacted inputs fall back to that sort.
+func unionDocOrder(parts ...[]*xmltree.Node) []*xmltree.Node {
+	total := 0
+	var d *xmltree.Document
+	for _, part := range parts {
+		total += len(part)
+		if d == nil && len(part) > 0 {
+			d = part[0].Owner()
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if d == nil || !d.Compacted() {
+		return sortMerge(parts, total)
+	}
+	s := nodeset.Get(d.Size())
+	defer nodeset.Put(s)
+	for _, part := range parts {
+		for _, n := range part {
+			if n.Owner() != d {
+				return sortMerge(parts, total)
+			}
+			s.Add(n.Ord())
+		}
+	}
+	byOrd := d.Nodes()
+	out := make([]*xmltree.Node, 0, s.Count())
+	s.ForEach(func(ord int) { out = append(out, byOrd[ord]) })
+	return out
+}
+
+// sortMerge is unionDocOrder's fallback: concatenate and sort.
+func sortMerge(parts [][]*xmltree.Node, total int) []*xmltree.Node {
+	out := make([]*xmltree.Node, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return xmltree.SortDocOrder(out)
 }
 
 // pEval is one parallel evaluation: the cancellation context, a token
@@ -229,7 +316,7 @@ func (e *pEval) eval(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 			if rightErr != nil {
 				return nil, rightErr
 			}
-			return xmltree.SortDocOrder(append(left, right...)), nil
+			return unionDocOrder(left, right), nil
 		}
 		left, err := e.eval(p.Left, ctx)
 		if err != nil {
@@ -239,7 +326,7 @@ func (e *pEval) eval(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return xmltree.SortDocOrder(append(left, right...)), nil
+		return unionDocOrder(left, right), nil
 	case Qualified:
 		mid, err := e.eval(p.Sub, ctx)
 		if err != nil {
@@ -247,10 +334,15 @@ func (e *pEval) eval(p Path, ctx []*xmltree.Node) ([]*xmltree.Node, error) {
 		}
 		return e.filterChunked(p.Cond, xmltree.SortDocOrder(mid))
 	default:
-		// Leaf steps (Empty, Self, Label, Wildcard) have no inner
-		// parallelism; the sequential evaluator handles them and any
-		// unknown node's error.
-		return newSeqEval(e.ctx).path(p, ctx)
+		// Leaf steps (Empty, Self, Label, Wildcard) and Rec have no
+		// inner parallelism; the sequential evaluator handles them and
+		// any unknown node's error, taking its ordinal path on
+		// compacted documents (per-state bitset rows for Rec).
+		se := newSeqEval(e.ctx)
+		if d := ordinalDoc(ctx); d != nil {
+			return evalOrdinal(se, nil, d, p, ctx)
+		}
+		return se.path(p, ctx)
 	}
 }
 
@@ -268,14 +360,12 @@ func (e *pEval) evalChunked(sub Path, nodes []*xmltree.Node) ([]*xmltree.Node, e
 	e.forEachChunk(chunks, func(i int) {
 		results[i], errs[i] = e.eval(sub, chunks[i])
 	})
-	var out []*xmltree.Node
 	for i := range chunks {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
-		out = append(out, results[i]...)
 	}
-	return xmltree.SortDocOrder(out), nil
+	return unionDocOrder(results...), nil
 }
 
 // filterChunked applies a qualifier filter over a sorted candidate set,
@@ -284,14 +374,23 @@ func (e *pEval) evalChunked(sub Path, nodes []*xmltree.Node) ([]*xmltree.Node, e
 func (e *pEval) filterChunked(q Qual, mid []*xmltree.Node) ([]*xmltree.Node, error) {
 	filter := func(nodes []*xmltree.Node) ([]*xmltree.Node, error) {
 		// One seqEval per chunk: the tick counter must stay
-		// goroutine-local.
+		// goroutine-local. On compacted documents the per-node condition
+		// checks run through a chunk-local bitEval, so the qualifier's
+		// inner paths evaluate over pooled sets instead of allocating
+		// slices per candidate.
 		se := newSeqEval(e.ctx)
+		qual := se.qual
+		if d := ordinalDoc(nodes); d != nil {
+			b := &bitEval{se: se, doc: d}
+			defer b.release()
+			qual = b.qual
+		}
 		var out []*xmltree.Node
 		for _, v := range nodes {
 			if err := se.tick(); err != nil {
 				return nil, err
 			}
-			hold, err := se.qual(q, v)
+			hold, err := qual(q, v)
 			if err != nil {
 				return nil, err
 			}

@@ -2,6 +2,7 @@ package xpath
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/xmltree"
 )
@@ -166,16 +167,39 @@ type recKey struct {
 	state string
 }
 
+// recSeenPool recycles the visited-pair maps between evalRec calls:
+// the product search probes the map once per (node, state) candidate,
+// and rebuilding a map that immediately regrows to thousands of
+// entries was a measurable share of recursive-plan allocation. Maps
+// come back cleared but keep their buckets, so a steady stream of
+// same-shaped plans stops allocating after the first few.
+var recSeenPool sync.Pool
+
 // evalRec runs the product reachability. step evaluates one σ path at a
 // context set — the sequential and indexed evaluators pass their own
 // recursive entry points, so σ edges inherit the caller's cancellation
 // and index behavior (each step call ticks at least once, bounding the
 // work between cancellation polls by one σ evaluation).
+//
+// Note the bitset evaluator does not pass through here: on compacted
+// documents Rec evaluates over per-state bitset rows instead
+// (bitEval.evalRec), and this map-based form serves the remaining
+// slice-path inputs.
 func evalRec(p Rec, ctx []*xmltree.Node, step func(Path, []*xmltree.Node) ([]*xmltree.Node, error)) ([]*xmltree.Node, error) {
 	if p.G == nil || len(ctx) == 0 {
 		return nil, nil
 	}
-	seen := make(map[recKey]bool, len(ctx))
+	// Pre-size from the product's seed dimensions: every (context node,
+	// state) pair is a potential visit, and a fresh map sized below that
+	// regrows during the first level of the search.
+	seen, _ := recSeenPool.Get().(map[recKey]bool)
+	if seen == nil {
+		seen = make(map[recKey]bool, len(ctx)*len(p.G.states))
+	}
+	defer func() {
+		clear(seen)
+		recSeenPool.Put(seen)
+	}()
 	frontier := map[string][]*xmltree.Node{}
 	for _, v := range ctx {
 		k := recKey{v, p.Start}

@@ -109,6 +109,16 @@ grep -q '^sv_phase_duration_seconds_count{phase="rewrite"}' "$WORK/metrics.txt" 
 # served some of them.
 awk '$1 == "sv_anscache_hits_total" { v = $2 } END { exit !(v > 0) }' "$WORK/metrics.txt" ||
     fail "/metricsz sv_anscache_hits_total not > 0 after repeated-query run"
+# Every eval series must carry the node-set representation label, and
+# the parsed (hence compacted) document must have produced bitset-path
+# evals — losing either means the repr split regressed.
+if grep '^sv_eval_total{' "$WORK/metrics.txt" | grep -qv 'repr='; then
+    fail "/metricsz sv_eval_total series without a repr label"
+fi
+grep -q '^sv_eval_total{' "$WORK/metrics.txt" ||
+    fail "/metricsz has no sv_eval_total series at all"
+awk -F' ' '/^sv_eval_total\{.*repr="bitset"/ { sum += $2 } END { exit !(sum > 0) }' "$WORK/metrics.txt" ||
+    fail '/metricsz sv_eval_total{repr="bitset"} not > 0 on a compacted document'
 
 echo "netsmoke: draining (SIGTERM)"
 curl -fsS "$BASE/healthz" >/dev/null || fail "healthz not OK before drain"
