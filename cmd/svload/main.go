@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/dtds"
 	"repro/internal/loadgen"
 	"repro/internal/policy"
+	"repro/internal/qstats"
 	"repro/internal/serve"
 	"repro/internal/xmlgen"
 	"repro/internal/xmltree"
@@ -171,6 +173,7 @@ func main() {
 		runtime.ReadMemStats(&memAfter)
 		rep.Mem = newMemReport(memBefore, memAfter, st.Requests)
 	}
+	rep.TopQueries = topFingerprints(srv, *targetURL)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -213,6 +216,33 @@ type report struct {
 	Finding     finding            `json:"finding"`
 	Server      *serve.ServerStats `json:"server_stats,omitempty"`
 	Mem         *memReport         `json:"mem_stats,omitempty"`
+	// TopQueries is the server's five heaviest /queryz fingerprints by
+	// cumulative eval time, so the bench trajectory attributes a
+	// regression to the query shapes that caused it.
+	TopQueries []qstats.FingerprintStats `json:"top_queries,omitempty"`
+}
+
+// topFingerprints snapshots the five heaviest fingerprint rows:
+// directly from the in-process server's registry, or over HTTP
+// (/queryz?n=5) when driving a remote svserve. Best-effort against a
+// remote — an old server without /queryz just yields no section.
+func topFingerprints(srv *serve.Server, baseURL string) []qstats.FingerprintStats {
+	if srv != nil {
+		return srv.QueryStats().Top(5, qstats.SortEvalTime)
+	}
+	resp, err := http.Get(strings.TrimRight(baseURL, "/") + "/queryz?n=5")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var qz serve.QueryzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qz); err != nil {
+		return nil
+	}
+	return qz.Top
 }
 
 // memReport is the in-process allocation cost of serving the whole run:

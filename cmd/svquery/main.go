@@ -17,7 +17,9 @@
 // the optimization pass; -indexed evaluates with the label-index
 // evaluator; -parallel evaluates with the worker-pool evaluator
 // (-workers bounds it); the two are mutually exclusive. -stats prints
-// the engine's plan-cache and evaluation counters to stderr; -anscache
+// the engine's plan-cache and evaluation counters to stderr, plus the
+// query's fingerprint (the hash the server's /queryz rows and event-log
+// records key on); -anscache
 // answers repeats (and provably-contained restrictions) from a bounded
 // semantic answer cache; -repeat re-runs the query to exercise the
 // plan and answer caches; -timeout bounds each
@@ -35,6 +37,8 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/qstats"
 	"repro/internal/secview"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -116,7 +120,7 @@ func main() {
 		if err := enc.Encode(ex); err != nil {
 			fatal(err)
 		}
-		printStats(engine, *stats)
+		printStats(engine, *stats, nil)
 		return
 	}
 	if *showRw || *showOpt || *noOptimize || *indexed {
@@ -167,18 +171,20 @@ func main() {
 		}
 	}
 	var result []*xmltree.Node
+	qm := &obs.QueryMetrics{}
 	for i := 0; i < *repeat; i++ {
-		if result, err = queryOnce(engine, doc, p, *timeout); err != nil {
+		if result, err = queryOnce(engine, doc, p, *timeout, qm); err != nil {
 			fatal(err)
 		}
 	}
 	printResult(result)
-	printStats(engine, *stats)
+	printStats(engine, *stats, qm)
 }
 
-// queryOnce runs one evaluation under the optional deadline.
-func queryOnce(engine *core.Engine, doc *xmltree.Document, p xpath.Path, timeout time.Duration) ([]*xmltree.Node, error) {
-	ctx := context.Background()
+// queryOnce runs one evaluation under the optional deadline, filling qm
+// with the request's metrics (the last repeat wins).
+func queryOnce(engine *core.Engine, doc *xmltree.Document, p xpath.Path, timeout time.Duration, qm *obs.QueryMetrics) ([]*xmltree.Node, error) {
+	ctx := obs.WithQueryMetrics(context.Background(), qm)
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -193,9 +199,16 @@ func printResult(result []*xmltree.Node) {
 	}
 }
 
-func printStats(engine *core.Engine, show bool) {
+// printStats dumps the engine counters; when qm carries a surfaced
+// plan it also prints the query's fingerprint — the hash the server's
+// /queryz rows and event-log records key on (class-less here, since a
+// single-engine CLI has no user-class dimension).
+func printStats(engine *core.Engine, show bool, qm *obs.QueryMetrics) {
 	if !show {
 		return
+	}
+	if qm != nil && qm.PlanText != "" {
+		fmt.Fprintf(os.Stderr, "fingerprint:  %s  plan: %s\n", qstats.Fingerprint("", qm.PlanText), qm.PlanText)
 	}
 	s := engine.Stats()
 	fmt.Fprintf(os.Stderr, "queries:      %d (%d cancelled)\n", s.Queries, s.Cancelled)

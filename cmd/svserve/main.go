@@ -16,6 +16,8 @@
 //	                stats from the layers below
 //	GET /metricsz — the same counters plus per-phase latency histograms
 //	                in Prometheus text exposition format
+//	GET /queryz   — per-fingerprint query statistics (top-K by eval
+//	                time, count, total time, or answer-cache miss rate)
 //	GET /explainz — one query with fresh per-phase timings, the
 //	                intermediate query strings, and its span tree
 //	GET /tracez   — recent sampled request traces
@@ -31,7 +33,11 @@
 // size; -anscache lets engines answer repeated or provably-contained
 // queries from a bounded semantic answer cache (-anscache-cap bounds
 // it); -trace-sample/-trace-ring tune request-trace sampling and
-// -slow-query the slow-query log threshold.
+// -slow-query the slow-query log threshold. -qstats-cap bounds the
+// /queryz fingerprint registry. -eventlog FILE switches the slow-query
+// log to a structured JSONL wide-event log (errors and slow queries
+// always; -eventlog-sample N additionally samples one request in N),
+// size-rotated at -eventlog-max-bytes.
 package main
 
 import (
@@ -49,6 +55,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/eventlog"
 	"repro/internal/policy"
 	"repro/internal/serve"
 	"repro/internal/xmltree"
@@ -84,6 +91,10 @@ func main() {
 		traceSample = flag.Int("trace-sample", 0, "keep a span tree for one request in N (0 = tracing off, 1 = every request)")
 		traceRing   = flag.Int("trace-ring", 0, "recent traces kept for /tracez (0 = default)")
 		slowQuery   = flag.Duration("slow-query", serve.DefaultSlowQuery, "log queries slower than this with per-phase timings (negative disables)")
+		qstatsCap   = flag.Int("qstats-cap", 0, "query fingerprints tracked for /queryz (0 = default)")
+		eventLog    = flag.String("eventlog", "", "write a structured JSONL wide-event log to this file (replaces the plain slow-query log line)")
+		eventMax    = flag.Int64("eventlog-max-bytes", 0, "rotate the event log when it would exceed this size (0 = default; one predecessor file is kept)")
+		eventSample = flag.Int("eventlog-sample", 0, "also log one successful request in N (0 = errors and slow queries only)")
 		unfold      = flag.Bool("unfold-rewrite", false, "rewrite recursive views by unfolding to each document height (Section 4.2 oracle) instead of the default height-free automata")
 		classes     classFlags
 	)
@@ -120,13 +131,24 @@ func main() {
 		fatal(fmt.Errorf("document does not conform to the DTD: %v", err))
 	}
 
+	var events *eventlog.Writer
+	if *eventLog != "" {
+		events, err = eventlog.New(*eventLog, *eventMax)
+		if err != nil {
+			fatal(err)
+		}
+		defer events.Close()
+	}
 	srv := serve.New(reg, doc, serve.Config{
-		DefaultTimeout:     *timeout,
-		MaxTimeout:         *maxTimeout,
-		MaxInFlight:        *maxInFlight,
-		TraceSampleEvery:   *traceSample,
-		TraceRingSize:      *traceRing,
-		SlowQueryThreshold: *slowQuery,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		MaxInFlight:         *maxInFlight,
+		TraceSampleEvery:    *traceSample,
+		TraceRingSize:       *traceRing,
+		SlowQueryThreshold:  *slowQuery,
+		QueryStatsCapacity:  *qstatsCap,
+		EventLog:            events,
+		EventLogSampleEvery: *eventSample,
 	})
 	// A configured http.Server rather than bare ListenAndServe: the
 	// header timeout unpins connections from clients that never finish

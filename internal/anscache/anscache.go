@@ -346,6 +346,20 @@ type Stats struct {
 	Capacity        int    `json:"capacity"`
 }
 
+// Add accumulates o into s — the rollup used when one figure must
+// cover several caches (policy.ClassStats sums its bindings' caches so
+// /statsz can split answer-cache outcomes per class). Entries and
+// Capacity add too: the sum is the class's total cached answers and
+// total room.
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.ContainmentHits += o.ContainmentHits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.Capacity += o.Capacity
+}
+
 // Stats snapshots the counters and current size.
 func (c *Cache) Stats() Stats {
 	return Stats{

@@ -425,6 +425,13 @@ func (e *Engine) QueryCtx(ctx context.Context, doc *xmltree.Document, p xpath.Pa
 	if err != nil {
 		return nil, err
 	}
+	qm := obs.QueryMetricsFromContext(ctx)
+	if qm != nil {
+		// The rendered optimized plan is the request's fingerprint basis
+		// (see internal/qstats); it is precomputed on the Prepared, so
+		// surfacing it is a field copy on hits and misses alike.
+		qm.PlanText = prep.optText()
+	}
 	var group, planText string
 	if e.answers != nil {
 		group, planText = e.docGroup(doc), prep.optText()
@@ -435,12 +442,12 @@ func (e *Engine) QueryCtx(ctx context.Context, doc *xmltree.Document, p xpath.Pa
 			}
 			return nil, err
 		}
-		if qm := obs.QueryMetricsFromContext(ctx); qm != nil {
+		if qm != nil {
 			qm.AnswerCacheHit = kind.String()
 		}
 		obs.SpanFromContext(ctx).SetAttr("answer_cache", kind.String())
 		if kind != anscache.KindMiss {
-			if qm := obs.QueryMetricsFromContext(ctx); qm != nil {
+			if qm != nil {
 				qm.EvalMode = obs.ModeCached
 				qm.SetRepr = setRepr(doc)
 			}

@@ -1,0 +1,111 @@
+package core
+
+// QueryMetrics surfacing suite: the per-request carrier contracts the
+// serving layer depends on. SetRepr on answer-cache hits must report
+// the representation the cached answer is stored in (the documented
+// ModeCached contract in internal/obs), and PlanText — the fingerprint
+// basis for internal/qstats — must be set on every successful path:
+// plan-cache miss, plan-cache hit, and answer-cache hit.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// queryWithMetrics runs q through e with a fresh carrier and returns it.
+func queryWithMetrics(t *testing.T, e *Engine, doc *xmltree.Document, q xpath.Path) *obs.QueryMetrics {
+	t.Helper()
+	qm := &obs.QueryMetrics{}
+	if _, err := e.QueryCtx(obs.WithQueryMetrics(context.Background(), qm), doc, q); err != nil {
+		t.Fatal(err)
+	}
+	return qm
+}
+
+// TestCachedHitSetReprBitset: on a compacted document a cached answer
+// reports ReprBitset — the representation bitset evaluation stored it
+// in — not a stale or empty repr.
+func TestCachedHitSetReprBitset(t *testing.T) {
+	on, _ := nurseEngines(t, "1")
+	doc := genHospital(7) // xmlgen compacts, so the bitset path applies
+	if !doc.Compacted() {
+		t.Fatal("generated document unexpectedly not compacted")
+	}
+	q := xpath.MustParse("//patient")
+
+	first := queryWithMetrics(t, on, doc, q)
+	if first.EvalMode == obs.ModeCached {
+		t.Fatalf("first query reported cached; cache should be cold")
+	}
+	if first.SetRepr != obs.ReprBitset {
+		t.Fatalf("first query repr = %q, want %q", first.SetRepr, obs.ReprBitset)
+	}
+
+	second := queryWithMetrics(t, on, doc, q)
+	if second.EvalMode != obs.ModeCached || second.AnswerCacheHit != "equal" {
+		t.Fatalf("second query mode=%q hit=%q, want cached/equal", second.EvalMode, second.AnswerCacheHit)
+	}
+	if second.SetRepr != obs.ReprBitset {
+		t.Errorf("cached hit repr = %q, want %q", second.SetRepr, obs.ReprBitset)
+	}
+}
+
+// TestCachedHitSetReprSlice: same contract on an uncompacted document,
+// where both evaluation and the cached answer use the slice repr.
+func TestCachedHitSetReprSlice(t *testing.T) {
+	on, _ := nurseEngines(t, "1")
+	// Parse (like xmlgen) compacts; cloning the tree into a fresh
+	// document skips that, giving the slice-repr path.
+	reparsed := xmltree.NewDocument(genHospital(7).Root.Clone())
+	if reparsed.Compacted() {
+		t.Fatal("rebuilt document unexpectedly compacted")
+	}
+	q := xpath.MustParse("//patient")
+
+	if qm := queryWithMetrics(t, on, reparsed, q); qm.SetRepr != obs.ReprSlice {
+		t.Fatalf("first query repr = %q, want %q", qm.SetRepr, obs.ReprSlice)
+	}
+	second := queryWithMetrics(t, on, reparsed, q)
+	if second.EvalMode != obs.ModeCached {
+		t.Fatalf("second query mode = %q, want cached", second.EvalMode)
+	}
+	if second.SetRepr != obs.ReprSlice {
+		t.Errorf("cached hit repr = %q, want %q", second.SetRepr, obs.ReprSlice)
+	}
+}
+
+// TestPlanTextSurfaced: PlanText carries the rendered optimized plan on
+// plan-cache misses, plan-cache hits, and answer-cache hits alike, and
+// is identical across them — the stability the fingerprint registry
+// keys on.
+func TestPlanTextSurfaced(t *testing.T) {
+	on, off := nurseEngines(t, "1")
+	doc := genHospital(7)
+	q := xpath.MustParse("//patient[.//medication]")
+
+	first := queryWithMetrics(t, on, doc, q) // plan miss, answer miss
+	if first.PlanCacheHit {
+		t.Fatal("first query reported a plan-cache hit on a cold cache")
+	}
+	if first.PlanText == "" {
+		t.Fatal("PlanText empty on the evaluated path")
+	}
+	second := queryWithMetrics(t, on, doc, q) // plan hit, answer hit
+	if !second.PlanCacheHit || second.EvalMode != obs.ModeCached {
+		t.Fatalf("second query: planHit=%v mode=%q, want true/cached", second.PlanCacheHit, second.EvalMode)
+	}
+	if second.PlanText != first.PlanText {
+		t.Errorf("PlanText changed across cache hit: %q vs %q", second.PlanText, first.PlanText)
+	}
+
+	// A cache-off engine surfaces the same text: PlanText depends on the
+	// policy and query, not on caching configuration.
+	plain := queryWithMetrics(t, off, doc, q)
+	if plain.PlanText != first.PlanText {
+		t.Errorf("cache-off PlanText %q differs from cache-on %q", plain.PlanText, first.PlanText)
+	}
+}

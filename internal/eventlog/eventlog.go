@@ -1,0 +1,122 @@
+// Package eventlog is a size-bounded structured log sink: one JSON
+// object per line (JSONL), rotated by size so a long-running server's
+// wide-event log can never fill the disk. The serving layer writes one
+// event per sampled request (errors and slow queries always) — see
+// internal/serve — but the writer itself is generic: anything
+// json.Marshal accepts.
+//
+// Rotation keeps exactly one predecessor file (path + ".1", replaced on
+// each rotation), so the on-disk footprint is bounded by roughly twice
+// MaxBytes regardless of uptime. An event larger than the whole bound
+// is still written — bounding individual events is the emitter's job
+// (the serving layer truncates query text before building events).
+package eventlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxBytes bounds one log file when Writer is built with
+// maxBytes <= 0.
+const DefaultMaxBytes = 64 << 20 // 64 MiB
+
+// Writer appends JSONL events to a file, rotating when the file would
+// exceed its byte bound. Safe for concurrent use.
+type Writer struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+
+	events    atomic.Uint64
+	rotations atomic.Uint64
+}
+
+// New opens (appending) or creates the log file at path. maxBytes <= 0
+// means DefaultMaxBytes.
+func New(path string, maxBytes int64) (*Writer, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	return &Writer{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Path returns the log file path.
+func (w *Writer) Path() string { return w.path }
+
+// Emit appends one event as a JSON line, rotating first if the line
+// would push the file past its bound (an oversized event on an empty
+// file is written anyway rather than lost).
+func (w *Writer) Emit(event any) error {
+	line, err := json.Marshal(event)
+	if err != nil {
+		return fmt.Errorf("eventlog: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("eventlog: writer closed")
+	}
+	if w.size > 0 && w.size+int64(len(line)) > w.maxBytes {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := w.f.Write(line)
+	w.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("eventlog: %w", err)
+	}
+	w.events.Add(1)
+	return nil
+}
+
+// rotateLocked moves the current file to path+".1" (replacing any
+// previous rotation) and starts a fresh file.
+func (w *Writer) rotateLocked() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("eventlog: rotate close: %w", err)
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return fmt.Errorf("eventlog: rotate: %w", err)
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("eventlog: rotate reopen: %w", err)
+	}
+	w.f, w.size = f, 0
+	w.rotations.Add(1)
+	return nil
+}
+
+// Stats reports events written and rotations performed, for gauges.
+func (w *Writer) Stats() (events, rotations uint64) {
+	return w.events.Load(), w.rotations.Load()
+}
+
+// Close flushes and closes the file. Emit after Close errors.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

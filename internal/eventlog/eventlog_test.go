@@ -1,0 +1,203 @@
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type testEvent struct {
+	ID   int    `json:"id"`
+	Note string `json:"note,omitempty"`
+}
+
+func readLines(t *testing.T, path string) []testEvent {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	var out []testEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e testEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan %s: %v", path, err)
+	}
+	return out
+}
+
+func TestEmitJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := New(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Emit(testEvent{ID: i, Note: "n"}); err != nil {
+			t.Fatalf("Emit %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readLines(t, path)
+	if len(got) != 10 {
+		t.Fatalf("read %d events, want 10", len(got))
+	}
+	for i, e := range got {
+		if e.ID != i {
+			t.Errorf("event %d has id %d", i, e.ID)
+		}
+	}
+	if ev, rot := w.Stats(); ev != 10 || rot != 0 {
+		t.Errorf("stats = %d events %d rotations, want 10/0", ev, rot)
+	}
+}
+
+// Rotation bounds the on-disk footprint at ~2x maxBytes: the live file
+// stays under the bound and exactly one predecessor is kept.
+func TestRotationBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	const maxBytes = 4096
+	w, err := New(path, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := strings.Repeat("x", 100)
+	for i := 0; i < 500; i++ {
+		if err := w.Emit(testEvent{ID: i, Note: note}); err != nil {
+			t.Fatalf("Emit %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rot := w.Stats()
+	if rot == 0 {
+		t.Fatal("no rotations after writing far past the bound")
+	}
+	for _, p := range []string{path, path + ".1"} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+		if st.Size() > maxBytes {
+			t.Errorf("%s is %d bytes, bound %d", p, st.Size(), maxBytes)
+		}
+	}
+	// No second-generation file exists; footprint is exactly two files.
+	if _, err := os.Stat(path + ".1.1"); err == nil {
+		t.Error("unexpected .1.1 rotation file")
+	}
+	// Both surviving files hold well-formed JSONL with contiguous
+	// trailing ids (rotation loses older events, never corrupts lines).
+	rotated := readLines(t, path+".1")
+	live := readLines(t, path)
+	all := append(rotated, live...)
+	if len(all) == 0 {
+		t.Fatal("no events survived rotation")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID != all[i-1].ID+1 {
+			t.Fatalf("event ids not contiguous across rotation: %d then %d", all[i-1].ID, all[i].ID)
+		}
+	}
+	if last := all[len(all)-1].ID; last != 499 {
+		t.Errorf("last event id = %d, want 499", last)
+	}
+}
+
+// Reopening an existing log appends rather than truncating.
+func TestReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := New(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(testEvent{ID: 0})
+	w.Close()
+	w, err = New(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(testEvent{ID: 1})
+	w.Close()
+	if got := readLines(t, path); len(got) != 2 || got[1].ID != 1 {
+		t.Errorf("after reopen: %+v, want ids 0,1", got)
+	}
+}
+
+// An event bigger than the whole bound is written, not dropped or
+// looped on.
+func TestOversizedEvent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := New(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Emit(testEvent{ID: 7, Note: strings.Repeat("y", 1000)}); err != nil {
+		t.Fatalf("oversized Emit: %v", err)
+	}
+	w.Close()
+	if got := readLines(t, path); len(got) != 1 || got[0].ID != 7 {
+		t.Errorf("oversized event not written intact: %+v", got)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := New(path, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := w.Emit(testEvent{ID: g*100 + i}); err != nil {
+					t.Errorf("Emit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving line parses — concurrent writers never interleave
+	// partial lines.
+	readLines(t, path)
+	if _, err := os.Stat(path + ".1"); err == nil {
+		readLines(t, path+".1")
+	}
+	if ev, _ := w.Stats(); ev != 800 {
+		t.Errorf("events written = %d, want 800", ev)
+	}
+}
+
+func TestEmitAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := New(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.Emit(testEvent{ID: 1}); err == nil {
+		t.Error("Emit after Close did not error")
+	}
+}

@@ -115,6 +115,11 @@ func (d *Digest) Snapshot() Snapshot {
 	return s
 }
 
+// SumNs returns the running observation sum in nanoseconds without
+// snapshotting the buckets — the cheap cumulative-time read used as a
+// sort key by per-fingerprint accounting (/queryz).
+func (d *Digest) SumNs() uint64 { return d.sumNs.Load() }
+
 // Count returns the number of observations so far (bucket sum).
 func (d *Digest) Count() uint64 {
 	n := uint64(0)

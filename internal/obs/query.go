@@ -82,6 +82,14 @@ type QueryMetrics struct {
 	// to (0 for non-recursive views).
 	UnfoldHeight int
 
+	// PlanText is the optimized-plan text of the plan that served the
+	// request — the normalization the answer cache keys on, and (paired
+	// with the user class) the basis of the server's query fingerprint
+	// (see internal/qstats). Unlike Optimized it is always set, on cache
+	// hits and misses alike: the engine stores the rendered text with
+	// the cached plan, so surfacing it costs a field copy, not a render.
+	PlanText string
+
 	// CaptureQueries asks the pipeline to also render the rewritten and
 	// optimized query strings. Off on the serving hot path.
 	CaptureQueries bool

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/access"
+	"repro/internal/anscache"
 	"repro/internal/core"
 	"repro/internal/dtd"
 	"repro/internal/obs"
@@ -213,6 +214,11 @@ type BindingStats struct {
 type ClassStats struct {
 	Class   string          `json:"class"`
 	Engines plancache.Stats `json:"engine_cache"`
+	// AnswerCache sums the answer-cache counters over the class's cached
+	// engines, so /statsz attributes hits and misses to the class that
+	// earned them (the Prometheus sv_anscache_* counters stay aggregated
+	// across classes). All zero when the answer cache is off.
+	AnswerCache anscache.Stats `json:"answer_cache"`
 	// Bindings holds the per-binding engine counters (plan cache,
 	// evaluation path, cancellations) for every engine currently cached,
 	// sorted by binding key.
@@ -227,10 +233,12 @@ func (r *Registry) Stats() []ClassStats {
 		c := r.classes[name]
 		cs := ClassStats{Class: name, Engines: c.EngineCacheStats()}
 		c.engines.Each(func(key string, e *core.Engine) {
+			es := e.Stats()
+			cs.AnswerCache.Add(es.AnswerCache)
 			cs.Bindings = append(cs.Bindings, BindingStats{
 				Binding:     key,
 				RewriteMode: e.RewriteMode(),
-				Engine:      e.Stats(),
+				Engine:      es,
 			})
 		})
 		sort.Slice(cs.Bindings, func(i, j int) bool { return cs.Bindings[i].Binding < cs.Bindings[j].Binding })

@@ -10,6 +10,9 @@
 //	/statsz   JSON counters (server + per-class engine/plan caches)
 //	/metricsz Prometheus text exposition of the same counters plus
 //	          per-phase (rewrite/optimize/eval) latency histograms
+//	/queryz   per-fingerprint query statistics (internal/qstats): the
+//	          top-K query shapes by cumulative eval time, count, or
+//	          answer-cache miss rate
 //	/explainz one query, freshly measured per phase, with its trace
 //	/tracez   recent sampled request traces (span trees)
 //	/healthz  liveness; 503 once graceful drain has begun
@@ -18,7 +21,11 @@
 // Every admitted query carries a request ID and an obs.QueryMetrics
 // carrier; one request in Config.TraceSampleEvery additionally records
 // a span tree into a bounded ring. Requests slower than
-// Config.SlowQueryThreshold are logged with their per-phase breakdown.
+// Config.SlowQueryThreshold are logged with their per-phase breakdown —
+// as a structured JSONL wide event when Config.EventLog is set (errors
+// always, plus one sampled request in Config.EventLogSampleEvery), as a
+// plain log line otherwise. Query text in either log is truncated to
+// maxLoggedQueryBytes so a pathological query cannot bloat the log.
 package serve
 
 import (
@@ -36,9 +43,11 @@ import (
 
 	"repro/internal/anscache"
 	"repro/internal/core"
+	"repro/internal/eventlog"
 	"repro/internal/latency"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/qstats"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -75,7 +84,21 @@ type Config struct {
 	// TraceRingSize bounds the ring of recent traces served by /tracez
 	// (0 = obs.DefaultTraceRing).
 	TraceRingSize int
-	// Logf is the slow-query log sink; nil means log.Printf.
+	// QueryStatsCapacity bounds the per-fingerprint statistics registry
+	// behind /queryz (0 = qstats.DefaultCapacity). The registry is
+	// always on: its cost is one sharded-map update per answered query.
+	QueryStatsCapacity int
+	// EventLog, when set, receives one structured JSONL wide event per
+	// error and per slow query, plus one sampled request in
+	// EventLogSampleEvery. The writer is the caller's: svserve builds it
+	// from -eventlog and closes it on shutdown.
+	EventLog *eventlog.Writer
+	// EventLogSampleEvery samples successful fast requests into the
+	// event log: one in N (1 = every request; 0 = errors and slow
+	// queries only, which always emit).
+	EventLogSampleEvery int
+	// Logf is the slow-query log sink used when EventLog is nil; nil
+	// means log.Printf.
 	Logf func(format string, args ...any)
 }
 
@@ -150,6 +173,11 @@ type Server struct {
 	draining atomic.Bool
 	tracer   *obs.Tracer
 	metrics  *obs.Registry
+	// qstats is the per-fingerprint registry behind /queryz. Every
+	// answered query is observed strictly after s.pipeline increments,
+	// so a /queryz count sum read before sv_pipeline_total can never
+	// exceed it (see recordQuery).
+	qstats *qstats.Registry
 
 	phases       [numPhases]latency.Digest
 	pipeline     atomic.Uint64
@@ -191,6 +219,7 @@ func New(reg *policy.Registry, doc *xmltree.Document, cfg Config) *Server {
 		explain: reg.ExplainCtx,
 		tracer:  obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceRingSize),
 		metrics: obs.NewRegistry(),
+		qstats:  qstats.New(cfg.QueryStatsCapacity),
 	}
 	s.registerMetrics()
 	return s
@@ -310,6 +339,36 @@ func (s *Server) registerMetrics() {
 	const traceHelp = "Traces started and kept by the sampler (explain traces included)."
 	m.CounterFunc("sv_traces_total", traceHelp, func() uint64 { st, _ := s.tracer.Stats(); return st }, obs.L("state", "started"))
 	m.CounterFunc("sv_traces_total", traceHelp, func() uint64 { _, k := s.tracer.Stats(); return k }, obs.L("state", "kept"))
+	// Fingerprint-registry health (/queryz): row occupancy against its
+	// bound, plus the observation/eviction counters that say whether the
+	// top-K is exact (zero evictions) or carries space-saving slack.
+	m.GaugeFunc("sv_qstats_fingerprints", "Query fingerprints currently tracked by the /queryz registry.", func() float64 {
+		return float64(s.qstats.Stats().Fingerprints)
+	})
+	m.GaugeFunc("sv_qstats_capacity", "Fingerprint bound of the /queryz registry.", func() float64 {
+		return float64(s.qstats.Capacity())
+	})
+	m.CounterFunc("sv_qstats_observations_total", "Answered queries folded into the fingerprint registry.", func() uint64 {
+		return s.qstats.Stats().Observations
+	})
+	m.CounterFunc("sv_qstats_evictions_total", "Space-saving evictions in the fingerprint registry (nonzero means some rows carry a count_slack bound).", func() uint64 {
+		return s.qstats.Stats().Evictions
+	})
+	const evHelp = "Structured wide-event log activity; both 0 when -eventlog is off."
+	m.CounterFunc("sv_eventlog_events_total", evHelp, func() uint64 {
+		if s.cfg.EventLog == nil {
+			return 0
+		}
+		ev, _ := s.cfg.EventLog.Stats()
+		return ev
+	})
+	m.CounterFunc("sv_eventlog_rotations_total", evHelp, func() uint64 {
+		if s.cfg.EventLog == nil {
+			return 0
+		}
+		_, rot := s.cfg.EventLog.Stats()
+		return rot
+	})
 }
 
 // Metrics returns the server's Prometheus registry (the /metricsz
@@ -336,6 +395,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
+	mux.HandleFunc("/queryz", s.handleQueryz)
 	mux.HandleFunc("/explainz", s.handleExplainz)
 	mux.HandleFunc("/tracez", s.handleTracez)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -488,7 +548,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		tr.Root.SetAttr("status", status)
 		s.tracer.Keep(tr)
 	}
-	s.maybeLogSlow(id, req, elapsed, status, qm)
+	s.recordQuery(id, req, elapsed, status, qm, len(nodes))
 }
 
 // observePipeline feeds one successfully answered request's per-phase
@@ -569,16 +629,135 @@ func (s *Server) logf(format string, args ...any) {
 	log.Printf(format, args...)
 }
 
-// maybeLogSlow logs one line per admitted query slower than the
-// threshold, with the per-phase breakdown that says where it went slow.
-func (s *Server) maybeLogSlow(id uint64, req *queryRequest, elapsed time.Duration, status int, qm *obs.QueryMetrics) {
+// maxLoggedQueryBytes bounds query text in the slow-query line and in
+// event-log records: a 100KB query must not become a 100KB log line.
+// The fingerprint still identifies the full query via /queryz.
+const maxLoggedQueryBytes = 512
+
+// truncateForLog clips q to maxLoggedQueryBytes, marking the cut.
+func truncateForLog(q string) string {
+	if len(q) <= maxLoggedQueryBytes {
+		return q
+	}
+	return q[:maxLoggedQueryBytes] + "...[truncated]"
+}
+
+// queryEvent is one wide event in the structured request log: every
+// field of the request's QueryMetrics carrier plus identity (request
+// id, class, fingerprint) and outcome (status, kind). Durations are
+// microseconds at this JSON edge, per the repo-wide unit discipline.
+type queryEvent struct {
+	TimeUnixUs int64 `json:"time_unix_us"`
+	// Kind says why the event was emitted: "error" (non-200 status),
+	// "slow" (over the slow-query threshold), or "sampled" (one in
+	// EventLogSampleEvery). Precedence in that order; each request emits
+	// at most one event.
+	Kind      string `json:"kind"`
+	RequestID uint64 `json:"request_id"`
+	Class     string `json:"class"`
+	Status    int    `json:"status"`
+	// Query is the surface query, truncated to maxLoggedQueryBytes;
+	// Fingerprint joins the event to its /queryz row.
+	Query       string `json:"query"`
+	Fingerprint string `json:"fingerprint"`
+
+	TotalUs    int64 `json:"total_us"`
+	RewriteUs  int64 `json:"rewrite_us"`
+	OptimizeUs int64 `json:"optimize_us"`
+	EvalUs     int64 `json:"eval_us"`
+
+	PlanCacheHit   bool   `json:"plan_cache_hit"`
+	EngineCacheHit bool   `json:"engine_cache_hit"`
+	AnswerCache    string `json:"answer_cache,omitempty"`
+	EvalMode       string `json:"eval_mode,omitempty"`
+	SetRepr        string `json:"set_repr,omitempty"`
+
+	NodesVisited uint64 `json:"nodes_visited"`
+	UnionForks   uint64 `json:"union_forks,omitempty"`
+	Partitions   uint64 `json:"partitions,omitempty"`
+	ResultCount  int    `json:"result_count"`
+}
+
+// recordQuery is the post-response accounting for one admitted query:
+// it folds answered requests into the fingerprint registry, counts slow
+// queries, and emits at most one wide event (or the legacy slow-query
+// log line when no event log is configured).
+//
+// Ordering invariant: for answered requests observePipeline has already
+// incremented s.pipeline in this goroutine, so the qstats observation
+// lands strictly after it. A reader that sums /queryz counts before
+// loading sv_pipeline_total therefore never sees the sum exceed the
+// pipeline total; at quiescence the two are equal.
+func (s *Server) recordQuery(id uint64, req *queryRequest, elapsed time.Duration, status int, qm *obs.QueryMetrics, results int) {
+	if status == http.StatusOK {
+		s.qstats.Observe(req.class, qm.PlanText, req.query, qstats.Observation{
+			Total:              elapsed,
+			Rewrite:            qm.Rewrite,
+			Optimize:           qm.Optimize,
+			Eval:               qm.Eval,
+			PlanCacheHit:       qm.PlanCacheHit,
+			AnswerCacheOutcome: qm.AnswerCacheHit,
+			EvalMode:           qm.EvalMode,
+			SetRepr:            qm.SetRepr,
+			NodesVisited:       qm.NodesVisited,
+			ResultCount:        results,
+		})
+	}
 	thr := s.cfg.slowThreshold()
-	if thr <= 0 || elapsed < thr {
+	slow := thr > 0 && elapsed >= thr
+	if slow {
+		s.slowQueries.Add(1)
+	}
+	if s.cfg.EventLog == nil {
+		if slow {
+			s.logf("svserve: slow query id=%d class=%s q=%q status=%d total=%v rewrite=%v optimize=%v eval=%v plan_cache_hit=%t mode=%s",
+				id, req.class, truncateForLog(req.query), status, elapsed, qm.Rewrite, qm.Optimize, qm.Eval, qm.PlanCacheHit, qm.EvalMode)
+		}
 		return
 	}
-	s.slowQueries.Add(1)
-	s.logf("svserve: slow query id=%d class=%s q=%q status=%d total=%v rewrite=%v optimize=%v eval=%v plan_cache_hit=%t mode=%s",
-		id, req.class, req.query, status, elapsed, qm.Rewrite, qm.Optimize, qm.Eval, qm.PlanCacheHit, qm.EvalMode)
+	var kind string
+	switch {
+	case status != http.StatusOK:
+		kind = "error"
+	case slow:
+		kind = "slow"
+	case s.cfg.EventLogSampleEvery > 0 && id%uint64(s.cfg.EventLogSampleEvery) == 0:
+		kind = "sampled"
+	default:
+		return
+	}
+	// The fingerprint falls back to the surface query exactly like
+	// qstats.Observe does, so error events (which may predate plan
+	// surfacing) still join /queryz rows when one exists.
+	plan := qm.PlanText
+	if plan == "" {
+		plan = req.query
+	}
+	ev := queryEvent{
+		TimeUnixUs:     time.Now().UnixMicro(),
+		Kind:           kind,
+		RequestID:      id,
+		Class:          req.class,
+		Status:         status,
+		Query:          truncateForLog(req.query),
+		Fingerprint:    qstats.Fingerprint(req.class, plan),
+		TotalUs:        elapsed.Microseconds(),
+		RewriteUs:      qm.Rewrite.Microseconds(),
+		OptimizeUs:     qm.Optimize.Microseconds(),
+		EvalUs:         qm.Eval.Microseconds(),
+		PlanCacheHit:   qm.PlanCacheHit,
+		EngineCacheHit: qm.EngineCacheHit,
+		AnswerCache:    qm.AnswerCacheHit,
+		EvalMode:       qm.EvalMode,
+		SetRepr:        qm.SetRepr,
+		NodesVisited:   qm.NodesVisited,
+		UnionForks:     qm.UnionForks,
+		Partitions:     qm.Partitions,
+		ResultCount:    results,
+	}
+	if err := s.cfg.EventLog.Emit(ev); err != nil {
+		s.logf("svserve: event log write failed: %v", err)
+	}
 }
 
 // explainzResponse is the /explainz JSON document: the engine's
@@ -653,6 +832,55 @@ func (s *Server) handleExplainz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteText(w)
+}
+
+// QueryStats returns the server's per-fingerprint registry (the /queryz
+// content), so embedders and load tools can read it directly.
+func (s *Server) QueryStats() *qstats.Registry { return s.qstats }
+
+// QueryzResponse is the /queryz JSON document: the registry's own
+// accounting plus the top fingerprints under the requested sort.
+type QueryzResponse struct {
+	// Sort is the applied sort key (?sort=, default eval_time) and N the
+	// applied row bound (?n=, default 50; n<=0 returns every row).
+	Sort string `json:"sort"`
+	N    int    `json:"n"`
+	// Registry is the fingerprint registry's own accounting. At
+	// quiescence the Count sum over ALL rows (n<=0) equals
+	// Registry.Observations equals sv_pipeline_total.
+	Registry qstats.Stats              `json:"registry"`
+	Top      []qstats.FingerprintStats `json:"top"`
+}
+
+// handleQueryz dumps per-fingerprint query statistics, heaviest first.
+// ?sort= picks the key (eval_time, total_time, count, miss_rate); ?n=
+// bounds the rows (0 or negative = all).
+func (s *Server) handleQueryz(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if v := r.FormValue("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil {
+			s.badRequest(w, fmt.Errorf("bad n %q (want an integer)", v))
+			return
+		}
+		n = parsed
+	}
+	by := r.FormValue("sort")
+	switch by {
+	case "":
+		by = qstats.SortEvalTime
+	case qstats.SortEvalTime, qstats.SortTotalTime, qstats.SortCount, qstats.SortMissRate:
+	default:
+		s.badRequest(w, fmt.Errorf("bad sort %q (want %s, %s, %s, or %s)",
+			by, qstats.SortEvalTime, qstats.SortTotalTime, qstats.SortCount, qstats.SortMissRate))
+		return
+	}
+	writeJSON(w, QueryzResponse{
+		Sort:     by,
+		N:        n,
+		Registry: s.qstats.Stats(),
+		Top:      s.qstats.Top(n, by),
+	})
 }
 
 // handleTracez dumps the most recent sampled traces, newest first

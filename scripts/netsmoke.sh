@@ -4,8 +4,10 @@
 # svload against it in closed-loop, open-loop, and repeated-query
 # (Zipf-skewed) mode, asserts /explainz returns a full per-phase
 # explain for a recursive query, validates /metricsz with promcheck and
-# requires the answer cache to have served hits, and finally SIGTERMs
-# the server and requires a clean drain.
+# requires the answer cache to have served hits, checks /queryz
+# fingerprint accounting against sv_pipeline_total and the structured
+# event log for well-formed wide events, and finally SIGTERMs the
+# server and requires a clean drain.
 #
 # Unlike `make loadsmoke` (in-process handler), this exercises the
 # network path: ReadHeaderTimeout, real connections, graceful shutdown.
@@ -46,7 +48,8 @@ echo "netsmoke: generating recursive fig7 document"
 echo "netsmoke: starting svserve on $BASE"
 "$WORK/bin/svserve" -builtin fig7 -doc "$WORK/fig7.xml" -addr "127.0.0.1:${PORT}" \
     -max-inflight 8 -timeout 250ms -read-header-timeout 2s -drain 10s \
-    -anscache -trace-sample 1 -slow-query 5s >"$WORK/svserve.log" 2>&1 &
+    -anscache -trace-sample 1 -slow-query 5s \
+    -eventlog "$WORK/events.jsonl" -eventlog-sample 1 >"$WORK/svserve.log" 2>&1 &
 SRV_PID=$!
 
 # Wait for the server to accept connections.
@@ -119,6 +122,45 @@ grep -q '^sv_eval_total{' "$WORK/metrics.txt" ||
     fail "/metricsz has no sv_eval_total series at all"
 awk -F' ' '/^sv_eval_total\{.*repr="bitset"/ { sum += $2 } END { exit !(sum > 0) }' "$WORK/metrics.txt" ||
     fail '/metricsz sv_eval_total{repr="bitset"} not > 0 on a compacted document'
+# The fingerprint-registry gauges must be present (promcheck above
+# already validated their format) and the wide-event log must have
+# recorded events at -eventlog-sample 1.
+for series in sv_qstats_fingerprints sv_qstats_capacity sv_qstats_observations_total \
+    sv_qstats_evictions_total sv_eventlog_events_total sv_eventlog_rotations_total; do
+    grep -q "^$series " "$WORK/metrics.txt" || fail "/metricsz missing $series"
+done
+awk '$1 == "sv_eventlog_events_total" { v = $2 } END { exit !(v > 0) }' "$WORK/metrics.txt" ||
+    fail "/metricsz sv_eventlog_events_total not > 0 with -eventlog-sample 1"
+
+echo "netsmoke: /queryz fingerprint accounting"
+curl -fsS "$BASE/queryz?n=0" >"$WORK/queryz.json" || fail "/queryz request failed"
+# At quiescence the Count sum over every tracked fingerprint equals the
+# registry's observation count equals sv_pipeline_total exactly.
+python3 - "$WORK/queryz.json" "$WORK/metrics.txt" <<'EOF' || fail "/queryz accounting broken"
+import json, sys
+qz = json.load(open(sys.argv[1]))
+rows = qz["top"]
+assert rows, "no fingerprints tracked after load"
+assert all(r["fingerprint"] and r["class"] and r["count"] > 0 for r in rows), rows
+total = sum(r["count"] for r in rows)
+pipeline = None
+for line in open(sys.argv[2]):
+    if line.startswith("sv_pipeline_total "):
+        pipeline = int(float(line.split()[1]))
+assert pipeline is not None, "sv_pipeline_total missing from /metricsz"
+assert total == pipeline == qz["registry"]["observations"], (total, pipeline, qz["registry"])
+EOF
+
+echo "netsmoke: event log holds well-formed wide events"
+[ -s "$WORK/events.jsonl" ] || fail "event log is empty with -eventlog-sample 1"
+python3 - "$WORK/events.jsonl" <<'EOF' || fail "event log record malformed"
+import json, sys
+ev = json.loads(open(sys.argv[1]).readline())
+for field in ("time_unix_us", "kind", "request_id", "class", "status",
+              "query", "fingerprint", "total_us", "eval_us"):
+    assert field in ev, f"missing {field}: {ev}"
+assert ev["kind"] in ("sampled", "slow", "error"), ev
+EOF
 
 echo "netsmoke: draining (SIGTERM)"
 curl -fsS "$BASE/healthz" >/dev/null || fail "healthz not OK before drain"
